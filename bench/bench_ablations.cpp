@@ -1,0 +1,165 @@
+// Ablations (DESIGN.md Sec. 6) -- not a paper table, but the design choices
+// the paper asserts without isolating:
+//   A. dependency elimination (Eq. 10 vs Eq. 11): accuracy after identical
+//      training + per-iteration time;
+//   B. packed shared-input linears (Fig. 3a): GEMM count;
+//   C. data prefetch: epoch wall time with/without the background loader;
+//   D. int8 weight quantization (Sec. VII future work): accuracy cost;
+//   E. envelope factoring (Eq. 13): transcendental-op count.
+#include "bench_common.hpp"
+
+#include "autograd/ops.hpp"
+#include "basis/envelope.hpp"
+#include "core/parallel_for.hpp"
+#include "fastchgnet/quantize.hpp"
+#include "perf/counters.hpp"
+#include "perf/timer.hpp"
+#include "train/trainer.hpp"
+
+namespace fastchg::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  print_header("Ablations", "design choices the paper asserts, isolated");
+
+  data::Dataset ds = bench_dataset(opt.full ? 512 : 192, 321, opt);
+  auto split = ds.split(0.0, 0.15, 4);
+
+  // ---- A: dependency elimination --------------------------------------
+  std::printf("\n[A] dependency elimination (Eq. 10 vs Eq. 11)\n");
+  struct DepRow {
+    const char* name;
+    double e_mae, f_mae;
+    double iter_s;
+  };
+  std::vector<DepRow> dep_rows;
+  for (const bool eliminate : {false, true}) {
+    model::ModelConfig cfg = bench_model_config(3, opt);
+    cfg.dependency_elimination = eliminate;
+    model::CHGNet net(cfg, 99);
+    train::TrainConfig tc;
+    tc.batch_size = 16;
+    tc.epochs = opt.full ? 12 : 6;
+    tc.base_lr = 1e-3f;
+    train::Trainer trainer(net, tc);
+    auto hist = trainer.fit(ds, split.train);
+    double iter_s = 0.0;
+    index_t iters = 0;
+    for (const auto& h : hist) {
+      iter_s += h.seconds;
+      iters += h.iterations;
+    }
+    auto m = trainer.evaluate(ds, split.test);
+    dep_rows.push_back({eliminate ? "Eq. 11 (stale, concurrent)"
+                                  : "Eq. 10 (sequential)",
+                        m.energy_mae_mev_atom, m.force_mae_mev_a,
+                        iter_s / static_cast<double>(iters)});
+  }
+  std::printf("  %-28s %12s %12s %12s\n", "block", "E(meV/at)", "F(meV/A)",
+              "s/iter");
+  for (const auto& r : dep_rows) {
+    std::printf("  %-28s %12.1f %12.1f %12.3f\n", r.name, r.e_mae, r.f_mae,
+                r.iter_s);
+  }
+  const double acc_ratio = dep_rows[1].e_mae / dep_rows[0].e_mae;
+  std::printf("  paper claim: 'does not affect accuracy' -- measured E-MAE "
+              "ratio %.2f\n", acc_ratio);
+
+  // ---- B: packed linears -----------------------------------------------
+  std::printf("\n[B] shared-input GEMM packing (Fig. 3a)\n");
+  data::Batch b = data::collate_indices(ds, split.train[0] < ds.size()
+                                                ? std::vector<index_t>(
+                                                      split.train.begin(),
+                                                      split.train.begin() + 8)
+                                                : std::vector<index_t>{0});
+  for (const bool packed : {false, true}) {
+    model::ModelConfig cfg = bench_model_config(3, opt);
+    cfg.packed_linears = packed;
+    model::CHGNet net(cfg, 5);
+    perf::reset_kernels();
+    perf::set_per_op(true);
+    (void)net.forward(b, model::ForwardMode::kEval);
+    std::printf("  %-10s matmul launches per forward: %llu\n",
+                packed ? "packed" : "unpacked",
+                static_cast<unsigned long long>(
+                    perf::counters().per_op["matmul"]));
+    perf::set_per_op(false);
+    perf::reset_kernels();
+  }
+
+  // ---- C: prefetch ------------------------------------------------------
+  std::printf("\n[C] data prefetch (background collation)\n");
+  for (const bool prefetch : {false, true}) {
+    model::ModelConfig cfg = bench_model_config(3, opt);
+    model::CHGNet net(cfg, 6);
+    train::TrainConfig tc;
+    tc.batch_size = 16;
+    tc.epochs = 1;
+    tc.prefetch = prefetch;
+    train::Trainer trainer(net, tc);
+    perf::Timer t;
+    trainer.fit(ds, split.train);
+    std::printf("  prefetch %-3s epoch wall time: %.2fs\n",
+                prefetch ? "on" : "off", t.seconds());
+  }
+  std::printf("  (gains require spare cores; this host has %d worker(s))\n",
+              num_threads());
+
+  // ---- D: int8 quantization ---------------------------------------------
+  std::printf("\n[D] int8 weight quantization (Sec. VII future work)\n");
+  {
+    model::ModelConfig cfg = bench_model_config(3, opt);
+    model::CHGNet net(cfg, 7);
+    train::TrainConfig tc;
+    tc.batch_size = 16;
+    tc.epochs = opt.full ? 12 : 6;
+    tc.base_lr = 1e-3f;
+    train::Trainer trainer(net, tc);
+    trainer.fit(ds, split.train);
+    auto fp32 = trainer.evaluate(ds, split.test);
+    auto rep = model::quantize_for_inference(net);
+    auto int8 = trainer.evaluate(ds, split.test);
+    std::printf("  %-6s E %.1f meV/at, F %.1f meV/A\n", "fp32",
+                fp32.energy_mae_mev_atom, fp32.force_mae_mev_a);
+    std::printf("  %-6s E %.1f meV/at, F %.1f meV/A  (%.2fx smaller "
+                "payload)\n",
+                "int8", int8.energy_mae_mev_atom, int8.force_mae_mev_a,
+                rep.fp32_bytes / rep.int8_bytes);
+  }
+
+  // ---- E: envelope factoring ---------------------------------------------
+  std::printf("\n[E] envelope redundancy bypass (Eq. 12 -> Eq. 13)\n");
+  {
+    ag::Var xi(Tensor::full({4096, 1}, 0.5f), false);
+    perf::reset_kernels();
+    perf::set_per_op(true);
+    (void)basis::envelope_naive(xi, 8);
+    const auto naive_pows = perf::counters().per_op["pow_scalar"];
+    const auto naive_total = perf::counters().kernel_launches;
+    perf::reset_kernels();
+    (void)basis::envelope_factored(xi, 8);
+    const auto fact_pows = perf::counters().per_op["pow_scalar"];
+    const auto fact_total = perf::counters().kernel_launches;
+    perf::set_per_op(false);
+    perf::reset_kernels();
+    std::printf("  naive:    %llu kernels, %llu pow evaluations\n",
+                static_cast<unsigned long long>(naive_total),
+                static_cast<unsigned long long>(naive_pows));
+    std::printf("  factored: %llu kernels, %llu pow evaluations "
+                "(bit-equal output; see tests)\n",
+                static_cast<unsigned long long>(fact_total),
+                static_cast<unsigned long long>(fact_pows));
+  }
+
+  print_rule();
+  std::printf("[shape %s] Eq. 11 keeps accuracy within 1.5x of Eq. 10 and "
+              "packing reduces GEMM launches\n",
+              (acc_ratio < 1.5 && acc_ratio > 0.6) ? "OK" : "MISMATCH");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastchg::bench
+
+int main(int argc, char** argv) { return fastchg::bench::run(argc, argv); }

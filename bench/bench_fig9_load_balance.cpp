@@ -1,0 +1,69 @@
+// Fig. 9 -- Per-device workload (feature number) per iteration under the
+// default sampler vs the load-balance sampler, 4 devices.
+// Paper: coefficient of variance drops 0.186 -> 0.064.
+#include "bench_common.hpp"
+
+#include "parallel/sampler.hpp"
+
+namespace fastchg::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace parallel;
+  BenchOptions opt = parse_options(argc, argv);
+  print_header("Fig. 9", "feature number of default vs load-balance sampler");
+
+  data::Dataset ds = bench_dataset(opt.full ? 4096 : 1024, 414, opt);
+  std::vector<index_t> rows(static_cast<std::size_t>(ds.size()));
+  for (index_t i = 0; i < ds.size(); ++i) rows[i] = i;
+  const auto loads = sample_workloads(ds);
+
+  SamplerConfig cfg;
+  cfg.num_devices = 4;
+  cfg.global_batch = 32;  // paper: default mini-batch 32 on 4 GPUs
+  cfg.seed = 7;
+
+  ShardPlan def = default_sharding(rows, loads, cfg);
+  ShardPlan bal = load_balance_sharding(rows, loads, cfg);
+  BalanceStats sdef = analyze_plan(def, loads);
+  BalanceStats sbal = analyze_plan(bal, loads);
+
+  std::printf("\nper-iteration device loads (first 16 iterations), "
+              "feature number = atoms+bonds+angles:\n");
+  std::printf("%6s | %28s | %28s\n", "iter", "default (min..max across dev)",
+              "load-balance (min..max)");
+  const index_t show =
+      std::min<index_t>(16, static_cast<index_t>(sdef.per_device_load.size()));
+  for (index_t i = 0; i < show; ++i) {
+    auto mm = [](const std::vector<index_t>& v) {
+      auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+      return std::pair<index_t, index_t>(*lo, *hi);
+    };
+    auto [dlo, dhi] = mm(sdef.per_device_load[i]);
+    auto [blo, bhi] = mm(sbal.per_device_load[i]);
+    std::printf("%6lld | %12lld .. %12lld | %12lld .. %12lld\n",
+                static_cast<long long>(i), static_cast<long long>(dlo),
+                static_cast<long long>(dhi), static_cast<long long>(blo),
+                static_cast<long long>(bhi));
+  }
+
+  print_rule();
+  std::printf("coefficient of variance (mean over iterations):\n");
+  std::printf("  default sampler      : %.3f   (paper: 0.186)\n",
+              sdef.mean_cov);
+  std::printf("  load-balance sampler : %.3f   (paper: 0.064)\n",
+              sbal.mean_cov);
+  std::printf("  reduction            : %.1fx  (paper: 2.9x)\n",
+              sdef.mean_cov / std::max(1e-12, sbal.mean_cov));
+  std::printf("  spread (max-min)     : default %lld, balanced %lld\n",
+              static_cast<long long>(sdef.max_load - sdef.min_load),
+              static_cast<long long>(sbal.max_load - sbal.min_load));
+  std::printf("[shape %s] load-balance sampler cuts CoV several-fold\n",
+              sbal.mean_cov < 0.6 * sdef.mean_cov ? "OK" : "MISMATCH");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastchg::bench
+
+int main(int argc, char** argv) { return fastchg::bench::run(argc, argv); }

@@ -1,0 +1,118 @@
+// Table II -- One-step molecular-dynamics time of CHGNet vs FastCHGNet on
+// the LiMnO2 / LiTiPO5 / Li9Co7O16 benchmark structures.
+//
+// Paper: speedups 2.86x / 2.63x / 3.03x; the speedup is lower than in
+// training because a single structure cannot saturate the device.
+//
+// This binary uses google-benchmark for the per-step timing loops, then
+// prints the paper-style summary table.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "md/md.hpp"
+
+namespace fastchg::bench {
+namespace {
+
+struct Setup {
+  std::unique_ptr<model::CHGNet> ref;
+  std::unique_ptr<model::CHGNet> fast;
+  std::map<std::string, data::Crystal> crystals;
+  std::map<std::string, double> mean_step_s;  // "model/crystal" -> seconds
+};
+
+Setup& setup() {
+  static Setup s = [] {
+    Setup st;
+    BenchOptions opt;  // bench dims; Table II uses the paper's 6/3 cutoffs
+    model::ModelConfig ref_cfg = bench_model_config(0, opt);
+    model::ModelConfig fast_cfg = bench_model_config(3, opt);
+    ref_cfg.atom_cutoff = fast_cfg.atom_cutoff = 6.0;
+    ref_cfg.bond_cutoff = fast_cfg.bond_cutoff = 3.0;
+    st.ref = std::make_unique<model::CHGNet>(ref_cfg, 42);
+    st.fast = std::make_unique<model::CHGNet>(fast_cfg, 42);
+    for (const char* name : {"LiMnO2", "LiTiPO5", "Li9Co7O16"}) {
+      st.crystals.emplace(name, data::make_reference_structure(name));
+    }
+    return st;
+  }();
+  return s;
+}
+
+void md_step_benchmark(benchmark::State& state, const std::string& model_name,
+                       const std::string& crystal_name) {
+  Setup& st = setup();
+  const model::CHGNet& net = model_name == "CHGNet" ? *st.ref : *st.fast;
+  md::MDConfig cfg;
+  cfg.dt_fs = 0.5;
+  cfg.graph.atom_cutoff = 6.0;
+  cfg.graph.bond_cutoff = 3.0;
+  if (model_name == "FastCHGNet+Verlet") cfg.verlet_skin = 1.0;
+  md::MDSimulator sim(net, st.crystals.at(crystal_name), cfg);
+  double total = 0.0;
+  index_t steps = 0;
+  for (auto _ : state) {
+    total += sim.step(1);
+    ++steps;
+  }
+  st.mean_step_s[model_name + "/" + crystal_name] =
+      total / static_cast<double>(std::max<index_t>(steps, 1));
+}
+
+int run(int argc, char** argv) {
+  setup();
+  for (const char* crystal : {"LiMnO2", "LiTiPO5", "Li9Co7O16"}) {
+    for (const char* model_name :
+         {"CHGNet", "FastCHGNet", "FastCHGNet+Verlet"}) {
+      benchmark::RegisterBenchmark(
+          (std::string(model_name) + "/" + crystal).c_str(),
+          [model_name, crystal](benchmark::State& s) {
+            md_step_benchmark(s, model_name, crystal);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  print_header("Table II", "one-step MD time, CHGNet vs FastCHGNet");
+  std::printf("%-12s %6s %7s %7s %11s %12s %9s | %s\n", "crystal", "atoms",
+              "bonds", "angles", "CHGNet(s)", "FastCHG(s)", "speedup",
+              "paper spd");
+  const double paper[] = {2.86, 2.63, 3.03};
+  int idx = 0;
+  bool shape_ok = true;
+  Setup& st = setup();
+  for (const char* crystal : {"LiMnO2", "LiTiPO5", "Li9Co7O16"}) {
+    data::GraphConfig gc;  // 6 / 3 A
+    data::GraphData g = data::build_graph(st.crystals.at(crystal), gc);
+    const double t_ref = st.mean_step_s.at(std::string("CHGNet/") + crystal);
+    const double t_fast =
+        st.mean_step_s.at(std::string("FastCHGNet/") + crystal);
+    const double t_verlet =
+        st.mean_step_s.at(std::string("FastCHGNet+Verlet/") + crystal);
+    const double spd = t_ref / t_fast;
+    shape_ok = shape_ok && spd > 1.5;
+    std::printf("%-12s %6lld %7lld %7lld %11.4f %12.4f %8.2fx | %9.2fx"
+                "   (+Verlet cache: %.4f s, %.2fx)\n",
+                crystal, static_cast<long long>(g.num_atoms),
+                static_cast<long long>(g.num_edges()),
+                static_cast<long long>(g.num_angles()), t_ref, t_fast, spd,
+                paper[idx], t_verlet, t_ref / t_verlet);
+    ++idx;
+  }
+  print_rule();
+  std::printf("[shape %s] FastCHGNet inference clearly faster on every "
+              "structure (paper: 2.63-3.03x)\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastchg::bench
+
+int main(int argc, char** argv) { return fastchg::bench::run(argc, argv); }

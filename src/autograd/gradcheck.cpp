@@ -1,0 +1,106 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+
+namespace fastchg::ag {
+
+namespace {
+
+/// Numerically differentiate scalar() w.r.t. element `i` of `leaf`'s value.
+double central_diff(const std::function<double()>& scalar, Tensor& storage,
+                    index_t i, float eps) {
+  float* p = storage.data();
+  const float orig = p[i];
+  p[i] = orig + eps;
+  const double fp = scalar();
+  p[i] = orig - eps;
+  const double fm = scalar();
+  p[i] = orig;
+  return (fp - fm) / (2.0 * static_cast<double>(eps));
+}
+
+GradCheckResult check_against(const std::function<Var()>& f,
+                              const std::vector<Var>& leaves,
+                              const std::vector<Tensor>& analytic,
+                              const GradCheckOptions& opt) {
+  GradCheckResult res;
+  // Note: no NoGradGuard here -- f may internally call ag::grad (the
+  // double-backward check does), which needs grad mode on.  The throwaway
+  // graphs are freed as soon as the returned Var dies.
+  auto scalar = [&]() -> double { return static_cast<double>(f().item()); };
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor storage = leaves[li].node()->value;  // shared storage: perturbable
+    const Tensor& a = analytic[li];
+    const index_t n = storage.numel();
+    const index_t stride =
+        n <= opt.max_per_leaf ? 1 : (n + opt.max_per_leaf - 1) /
+                                        opt.max_per_leaf;
+    for (index_t i = 0; i < n; i += stride) {
+      const double num = central_diff(scalar, storage, i, opt.eps);
+      const double ana = a.defined() ? static_cast<double>(a.data()[i]) : 0.0;
+      const double abs_err = std::fabs(num - ana);
+      const double rel_err =
+          abs_err / std::max(1.0, std::max(std::fabs(num), std::fabs(ana)));
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+      res.max_rel_err = std::max(res.max_rel_err, rel_err);
+      if (abs_err > opt.atol && rel_err > opt.rtol && res.ok) {
+        res.ok = false;
+        std::ostringstream os;
+        os << "leaf " << li << " elem " << i << ": numeric " << num
+           << " vs analytic " << ana;
+        res.detail = os.str();
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+GradCheckResult gradcheck(const std::function<Var()>& f,
+                          const std::vector<Var>& leaves,
+                          const GradCheckOptions& opt) {
+  Var out = f();
+  FASTCHG_CHECK(out.numel() == 1, "gradcheck: f must return a scalar");
+  std::vector<Var> grads = grad(out, leaves);
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (const Var& g : grads) {
+    analytic.push_back(g.defined() ? g.value() : Tensor());
+  }
+  return check_against(f, leaves, analytic, opt);
+}
+
+GradCheckResult gradcheck_double(const std::function<Var()>& f,
+                                 const std::vector<Var>& leaves,
+                                 const GradCheckOptions& opt) {
+  using namespace ops;
+  // Fixed cotangents make h deterministic across numeric re-evaluations.
+  Rng rng(1234);
+  std::vector<Var> cotangents;
+  cotangents.reserve(leaves.size());
+  for (const Var& leaf : leaves) {
+    Tensor c = Tensor::empty(leaf.shape());
+    rng.fill_normal(c, 0.0f, 1.0f);
+    cotangents.push_back(constant(std::move(c)));
+  }
+  auto h = [&]() -> Var {
+    Var out = f();
+    std::vector<Var> g = grad(out, leaves, Var(), /*create_graph=*/true);
+    Var acc;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!g[i].defined()) continue;
+      Var term = sum_all(mul(g[i], cotangents[i]));
+      acc = acc.defined() ? add(acc, term) : term;
+    }
+    FASTCHG_CHECK(acc.defined(), "gradcheck_double: no gradient flow at all");
+    return acc;
+  };
+  return gradcheck(h, leaves, opt);
+}
+
+}  // namespace fastchg::ag

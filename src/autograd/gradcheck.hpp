@@ -1,0 +1,44 @@
+// Numeric gradient verification (finite differences vs autograd).
+//
+// float32 finite differences are noisy; checks use central differences with
+// a relatively large step and compare with mixed absolute/relative
+// tolerance.  Test functions should therefore be scaled O(1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace fastchg::ag {
+
+struct GradCheckOptions {
+  float eps = 1e-2f;        ///< central-difference step
+  float rtol = 5e-2f;       ///< relative tolerance
+  float atol = 2e-3f;       ///< absolute tolerance
+  index_t max_per_leaf = 64;  ///< elements checked per leaf (subsampled)
+};
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  ///< first failure description
+};
+
+/// Verify d f() / d leaves against central differences.  `f` must return a
+/// scalar Var (numel 1) and be a pure function of the leaves' current values.
+GradCheckResult gradcheck(const std::function<Var()>& f,
+                          const std::vector<Var>& leaves,
+                          const GradCheckOptions& opt = {});
+
+/// Verify second-order gradients: defines h(leaves) = sum_i <grad_i, c_i>
+/// with fixed random cotangents c_i, computes dh/dleaves analytically with
+/// create_graph=true, and gradchecks that.  This is exactly the structure of
+/// the force-loss backward pass in reference CHGNet.
+GradCheckResult gradcheck_double(const std::function<Var()>& f,
+                                 const std::vector<Var>& leaves,
+                                 const GradCheckOptions& opt = {});
+
+}  // namespace fastchg::ag

@@ -1,0 +1,67 @@
+#include "basis/envelope.hpp"
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+
+namespace fastchg::basis {
+
+using namespace ag::ops;
+
+namespace {
+struct Coeffs {
+  float c1, c2, c3;
+};
+Coeffs coeffs(int p) {
+  const float pf = static_cast<float>(p);
+  return {(pf + 1) * (pf + 2) / 2, pf * (pf + 2), pf * (pf + 1) / 2};
+}
+}  // namespace
+
+Var envelope_naive(const Var& xi, int p) {
+  const Coeffs c = coeffs(p);
+  // Three independent pow evaluations -- the redundancy Eq. 13 removes.
+  Var t1 = mul_scalar(pow_scalar(xi, static_cast<float>(p)), c.c1);
+  Var t2 = mul_scalar(pow_scalar(xi, static_cast<float>(p + 1)), c.c2);
+  Var t3 = mul_scalar(pow_scalar(xi, static_cast<float>(p + 2)), c.c3);
+  return add_scalar(add(sub(t2, t1), neg(t3)), 1.0f);
+}
+
+Var envelope_factored(const Var& xi, int p) {
+  const Coeffs c = coeffs(p);
+  // u = 1 - xi^p * (c1 - xi*(c2 - c3*xi))   (single pow + Horner)
+  Var xp = pow_scalar(xi, static_cast<float>(p));
+  Var inner = add_scalar(neg(mul(xi, add_scalar(mul_scalar(xi, -c.c3), c.c2))),
+                         c.c1);
+  return add_scalar(neg(mul(xp, inner)), 1.0f);
+}
+
+Var envelope_deriv_ops(const Var& xi, int p) {
+  const Coeffs c = coeffs(p);
+  const float pf = static_cast<float>(p);
+  // du/dxi = -c1 p xi^(p-1) + c2 (p+1) xi^p - c3 (p+2) xi^(p+1)
+  //        = xi^(p-1) * (-c1 p + xi*(c2 (p+1) - c3 (p+2) xi))
+  Var xpm1 = pow_scalar(xi, pf - 1.0f);
+  Var inner = add_scalar(
+      mul(xi, add_scalar(mul_scalar(xi, -c.c3 * (pf + 2)), c.c2 * (pf + 1))),
+      -c.c1 * pf);
+  return mul(xpm1, inner);
+}
+
+double envelope_value(double xi, int p) {
+  const double pf = p;
+  const double c1 = (pf + 1) * (pf + 2) / 2, c2 = pf * (pf + 2),
+               c3 = pf * (pf + 1) / 2;
+  const double xp = std::pow(xi, pf);
+  return 1.0 - xp * (c1 - xi * (c2 - c3 * xi));
+}
+
+double envelope_deriv(double xi, int p) {
+  const double pf = p;
+  const double c1 = (pf + 1) * (pf + 2) / 2, c2 = pf * (pf + 2),
+               c3 = pf * (pf + 1) / 2;
+  const double xpm1 = std::pow(xi, pf - 1);
+  return xpm1 * (-c1 * pf + xi * (c2 * (pf + 1) - c3 * (pf + 2) * xi));
+}
+
+}  // namespace fastchg::basis

@@ -1,0 +1,37 @@
+// Polynomial envelope u(xi), xi = r / r_cut (DimeNet / CHGNet smoothing).
+//
+//   u(xi) = 1 - c1 xi^p + c2 xi^(p+1) - c3 xi^(p+2)
+//   c1 = (p+1)(p+2)/2, c2 = p(p+2), c3 = p(p+1)/2
+//
+// which satisfies u(1) = u'(1) = 0 (smooth vanishing at the cutoff).
+//
+// NOTE on the paper: Eq. 12/13 print the last coefficient as p(p+2)/2 and
+// flip two signs; with those values u(1) != 0, so we take them as typos of
+// the standard DimeNet envelope above (CHGNet's actual implementation).
+// The *optimization* the paper describes -- factoring out the common xi^p so
+// only one transcendental pow is evaluated ("redundancy bypass") -- is
+// preserved exactly: envelope_naive evaluates three pows, envelope_factored
+// evaluates one and uses a Horner form.  Both are bit-compatible in exact
+// arithmetic (see tests).
+#pragma once
+
+#include "autograd/variable.hpp"
+
+namespace fastchg::basis {
+
+using ag::Var;
+
+/// Three-pow evaluation (reference CHGNet form, Eq. 12).
+Var envelope_naive(const Var& xi, int p);
+
+/// One-pow Horner evaluation (redundancy-bypass form, Eq. 13).
+Var envelope_factored(const Var& xi, int p);
+
+/// du/dxi as an op composition (used by fused-kernel backwards).
+Var envelope_deriv_ops(const Var& xi, int p);
+
+/// Scalar helpers for fused kernels and the oracle-free unit tests.
+double envelope_value(double xi, int p);
+double envelope_deriv(double xi, int p);
+
+}  // namespace fastchg::basis

@@ -1,0 +1,37 @@
+// Fourier expansion of bond angles (CHGNet):
+//
+//   FT(theta) = [ 1/sqrt(2), cos(n theta), sin(n theta) ]_{n=1..order} / sqrt(pi)
+//
+// num_basis = 2*order + 1 (31 with order 15, the paper's setting).
+//
+// Reference path: one cos + one sin kernel per order plus a concat -- the
+// "numerous elementwise operations" the paper fuses.  Fused path: a single
+// forward kernel with an op-composed (double-differentiable) backward.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fastchg::basis {
+
+using ag::Var;
+
+class AngularBasis : public nn::Module {
+ public:
+  /// num_basis must be odd (1 constant + order cos + order sin).
+  AngularBasis(index_t num_basis, bool fused);
+
+  /// theta: [G,1] angles (radians) -> [G, num_basis].
+  Var forward(const Var& theta) const;
+
+  index_t num_basis() const { return 2 * order_ + 1; }
+  index_t order() const { return order_; }
+
+ private:
+  Var forward_reference(const Var& theta) const;
+  Var forward_fused(const Var& theta) const;
+
+  index_t order_;
+  bool fused_;
+};
+
+}  // namespace fastchg::basis

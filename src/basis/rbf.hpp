@@ -1,0 +1,43 @@
+// Trainable smooth Radial Bessel basis (sRBF):
+//
+//   sRBF_n(r) = sqrt(2/rc) * sin(freq_n * r/rc) / r * u(r/rc)
+//
+// freq_n are trainable, initialized to n*pi (DimeNet).  Two execution paths:
+//  * reference: ~12 primitive kernels (broadcasts, sin, pows of the naive
+//    envelope) -- the unfused reference-CHGNet structure;
+//  * fused: one forward kernel using the factored envelope; the backward is
+//    op-composed, keeping d(basis)/dr differentiable a second time (the
+//    force-training path).
+#pragma once
+
+#include "basis/envelope.hpp"
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fastchg::basis {
+
+class RadialBasis : public nn::Module {
+ public:
+  RadialBasis(index_t num_basis, double cutoff, int p, bool fused,
+              bool factored_envelope);
+
+  /// r: [E,1] distances -> [E, num_basis] features.
+  Var forward(const Var& r) const;
+
+  index_t num_basis() const { return nb_; }
+  double cutoff() const { return cutoff_; }
+  const Var& frequencies() const { return freq_; }
+
+ private:
+  Var forward_reference(const Var& r) const;
+  Var forward_fused(const Var& r) const;
+
+  index_t nb_;
+  double cutoff_;
+  int p_;
+  bool fused_;
+  bool factored_;
+  Var freq_;  ///< [num_basis]
+};
+
+}  // namespace fastchg::basis

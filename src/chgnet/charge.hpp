@@ -1,0 +1,41 @@
+// Charge-informed post-processing (the capability that makes CHGNet "the
+// only charge-informed GNN potential"): atomic charges (oxidation states)
+// are inferred from predicted magnetic moments, because ions of the same
+// element in different oxidation states carry distinct moments (the paper's
+// example: Mn in LixMnO2).  Each species has a catalog of plausible
+// oxidation states with expected moments; each atom is assigned the state
+// closest to its predicted moment, then a global charge-neutrality
+// constraint is enforced by greedily re-assigning the atoms whose moments
+// discriminate least between states.
+//
+// With synthetic species, the catalog is generated deterministically from Z
+// (mirroring how every other species property in this repo is derived).
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fastchg::model {
+
+struct ChargeState {
+  int oxidation;           ///< e.g. +2, +3
+  double expected_magmom;  ///< mu_B for that state
+};
+
+/// Candidate oxidation states for species `z` (2-4 states, deterministic).
+std::vector<ChargeState> charge_states(index_t z);
+
+struct ChargeAssignment {
+  std::vector<int> oxidation;  ///< per atom
+  double penalty = 0.0;        ///< sum |magmom - expected| over atoms
+  bool neutral = false;        ///< total charge reached zero
+  int total_charge = 0;
+};
+
+/// Infer per-atom oxidation states from predicted moments, then push the
+/// total charge toward zero via minimal-penalty reassignments.
+ChargeAssignment infer_charges(const std::vector<index_t>& species,
+                               const std::vector<double>& magmoms);
+
+}  // namespace fastchg::model

@@ -1,0 +1,53 @@
+#include "chgnet/config.hpp"
+
+#include "core/error.hpp"
+
+namespace fastchg::model {
+
+ModelConfig ModelConfig::reference() { return ModelConfig{}; }
+
+ModelConfig ModelConfig::fast() {
+  ModelConfig c;
+  c.batched_basis = true;
+  c.fused_kernels = true;
+  c.factored_envelope = true;
+  c.packed_linears = true;
+  c.dependency_elimination = true;
+  c.decoupled_heads = true;
+  return c;
+}
+
+ModelConfig ModelConfig::fast_no_head() {
+  ModelConfig c = fast();
+  c.decoupled_heads = false;
+  return c;
+}
+
+ModelConfig ModelConfig::optimization_stage(int stage) {
+  FASTCHG_CHECK(stage >= 0 && stage <= 3,
+                "optimization_stage: " << stage << " not in [0,3]");
+  ModelConfig c;
+  if (stage >= 1) c.batched_basis = true;
+  if (stage >= 2) {
+    c.fused_kernels = true;
+    c.factored_envelope = true;
+    c.packed_linears = true;
+    c.dependency_elimination = true;
+  }
+  if (stage >= 3) c.decoupled_heads = true;
+  return c;
+}
+
+std::string ModelConfig::tag() const {
+  if (!batched_basis && !fused_kernels && !decoupled_heads) {
+    return "CHGNet(reference)";
+  }
+  std::string t = "FastCHGNet[";
+  t += batched_basis ? "batched" : "serial";
+  if (fused_kernels) t += "+fused";
+  if (decoupled_heads) t += "+heads";
+  t += "]";
+  return t;
+}
+
+}  // namespace fastchg::model

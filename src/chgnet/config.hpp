@@ -1,0 +1,49 @@
+// Model configuration.  All optimization switches off reproduces reference
+// CHGNet; all on reproduces FastCHGNet ("F/S head"); all on except
+// decoupled_heads is the paper's FastCHGNet "w/o head" variant.  The Fig. 8
+// step-by-step ablation walks through optimization_stage(0..3).
+#pragma once
+
+#include <string>
+
+#include "core/tensor.hpp"
+
+namespace fastchg::model {
+
+struct ModelConfig {
+  index_t feat_dim = 64;      ///< atom/bond/angle feature width (paper: 64)
+  index_t num_radial = 31;    ///< radial basis size (paper: 31)
+  index_t num_angular = 31;   ///< angular basis size (paper: 31, odd)
+  index_t num_layers = 3;     ///< interaction blocks (paper: 3)
+  index_t num_species = 96;   ///< embedding rows (89 elements + margin)
+  int envelope_p = 8;         ///< smoothing coefficient p (paper: 8)
+  double atom_cutoff = 6.0;   ///< A; must match the dataset's GraphConfig
+  double bond_cutoff = 3.0;
+
+  // ---- optimization switches (all false = reference CHGNet) ----
+  bool batched_basis = false;        ///< Alg. 2 batched basis vs Alg. 1 serial
+  bool fused_kernels = false;        ///< fused sRBF / Fourier / GatedMLP / LN
+  bool factored_envelope = false;    ///< Eq. 13 redundancy bypass vs Eq. 12
+  bool packed_linears = false;       ///< Fig. 3a weight-concat GEMM packing
+  bool dependency_elimination = false;  ///< Eq. 11 stale-feature block
+  bool decoupled_heads = false;      ///< Force/Stress heads vs derivatives
+  /// Read the magmom head from the features *entering* the final
+  /// interaction block instead of the final atom features (real CHGNet
+  /// supervises site magmoms on intermediate features).  Off by default to
+  /// keep this repo's pinned golden values stable.
+  bool magmom_intermediate = false;
+
+  /// Reference CHGNet (v0.3.0-like).
+  static ModelConfig reference();
+  /// FastCHGNet, "F/S head" row of Table I.
+  static ModelConfig fast();
+  /// FastCHGNet, "w/o head" row of Table I (derivative F/S retained).
+  static ModelConfig fast_no_head();
+  /// Fig. 8 step-by-step: 0 = reference, 1 = +parallel basis,
+  /// 2 = +kernel fusion & redundancy bypass, 3 = +decoupling.
+  static ModelConfig optimization_stage(int stage);
+  /// Human-readable tag for bench output.
+  std::string tag() const;
+};
+
+}  // namespace fastchg::model

@@ -1,0 +1,43 @@
+#include "chgnet/embedding_layer.hpp"
+
+namespace fastchg::model {
+
+FeatureEmbedding::FeatureEmbedding(const ModelConfig& cfg, Rng& rng)
+    : packed_(cfg.packed_linears),
+      atom_embed_(cfg.num_species, cfg.feat_dim, rng),
+      bond_e0_(cfg.num_radial, cfg.feat_dim, rng),
+      bond_ea_(cfg.num_radial, cfg.feat_dim, rng),
+      bond_eb_(cfg.num_radial, cfg.feat_dim, rng),
+      bond_packed_(cfg.num_radial,
+                   {cfg.feat_dim, cfg.feat_dim, cfg.feat_dim}, rng),
+      angle_feat_(cfg.num_angular, cfg.feat_dim, rng) {
+  add_child("atom_embed", &atom_embed_);
+  if (packed_) {
+    add_child("bond_packed", &bond_packed_);
+  } else {
+    add_child("bond_e0", &bond_e0_);
+    add_child("bond_ea", &bond_ea_);
+    add_child("bond_eb", &bond_eb_);
+  }
+  add_child("angle_feat", &angle_feat_);
+}
+
+Var FeatureEmbedding::atoms(const std::vector<index_t>& species) const {
+  return atom_embed_.forward(species);
+}
+
+FeatureEmbedding::BondFeatures FeatureEmbedding::bonds(const Var& rbf) const {
+  if (packed_) {
+    Var all = bond_packed_.forward(rbf);
+    return {bond_packed_.head(0, all), bond_packed_.head(1, all),
+            bond_packed_.head(2, all)};
+  }
+  return {bond_e0_.forward(rbf), bond_ea_.forward(rbf),
+          bond_eb_.forward(rbf)};
+}
+
+Var FeatureEmbedding::angles(const Var& fourier) const {
+  return angle_feat_.forward(fourier);
+}
+
+}  // namespace fastchg::model

@@ -1,0 +1,45 @@
+// Feature embedding (paper Eq. 2): atomic numbers -> node features, radial
+// basis -> {bond feature e^0, atom-conv weights e^a, bond-conv weights e^b}
+// via three linears sharing the same sRBF input (packed into one GEMM when
+// packed_linears is on -- Fig. 3a), angular basis -> angle features.
+#pragma once
+
+#include <vector>
+
+#include "chgnet/config.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+
+namespace fastchg::model {
+
+using ag::Var;
+
+class FeatureEmbedding : public nn::Module {
+ public:
+  FeatureEmbedding(const ModelConfig& cfg, Rng& rng);
+
+  /// Atomic numbers -> [A,C].
+  Var atoms(const std::vector<index_t>& species) const;
+
+  struct BondFeatures {
+    Var e0;  ///< [E,C] initial bond features
+    Var ea;  ///< [E,C] atom-conv weights
+    Var eb;  ///< [E,C] bond-conv weights
+  };
+  /// Radial basis [E,B] -> the three bond tensors.
+  BondFeatures bonds(const Var& rbf) const;
+
+  /// Angular basis [G,B] -> [G,C].
+  Var angles(const Var& fourier) const;
+
+ private:
+  bool packed_;
+  nn::Embedding atom_embed_;
+  // Unpacked path: three separate shared-input linears (reference CHGNet).
+  nn::Linear bond_e0_, bond_ea_, bond_eb_;
+  // Packed path: one [B, 3C] GEMM (FastCHGNet).
+  nn::PackedLinear bond_packed_;
+  nn::Linear angle_feat_;
+};
+
+}  // namespace fastchg::model

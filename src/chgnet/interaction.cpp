@@ -1,0 +1,79 @@
+#include "chgnet/interaction.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace fastchg::model {
+
+using namespace ag::ops;
+
+InteractionBlock::InteractionBlock(const ModelConfig& cfg, bool last,
+                                   Rng& rng)
+    : last_(last),
+      eliminate_deps_(cfg.dependency_elimination),
+      atom_mlp_(3 * cfg.feat_dim, cfg.feat_dim, rng, cfg.fused_kernels),
+      bond_mlp_(4 * cfg.feat_dim, cfg.feat_dim, rng, cfg.fused_kernels),
+      angle_mlp_(4 * cfg.feat_dim, cfg.feat_dim, rng, cfg.fused_kernels),
+      atom_proj_(cfg.feat_dim, cfg.feat_dim, rng),
+      bond_proj_(cfg.feat_dim, cfg.feat_dim, rng) {
+  add_child("atom_mlp", &atom_mlp_);
+  if (!last) {
+    add_child("bond_mlp", &bond_mlp_);
+    add_child("angle_mlp", &angle_mlp_);
+  }
+  add_child("atom_proj", &atom_proj_);
+  if (!last) add_child("bond_proj", &bond_proj_);
+}
+
+Var InteractionBlock::atom_conv(const BlockState& s, const GraphTopo& topo,
+                                const Var& ea) const {
+  // f_v = [v_i, v_j, e_ij]; message = e^a ⊙ phi_v(f_v); aggregate at i.
+  Var v_src = index_select0(s.v, *topo.edge_src);
+  Var v_dst = index_select0(s.v, *topo.edge_dst);
+  Var f_v = cat({v_src, v_dst, s.e}, 1);
+  Var msg = mul(ea, atom_mlp_.forward(f_v));
+  Var agg = index_add0(topo.num_atoms, *topo.edge_src, msg);
+  return add(s.v, atom_proj_.forward(agg));
+}
+
+void InteractionBlock::apply(BlockState& s, const GraphTopo& topo,
+                             const Var& ea, const Var& eb) const {
+  Var v_new = atom_conv(s, topo, ea);
+  if (last_ || topo.num_angles == 0) {
+    s.v = v_new;
+    return;
+  }
+
+  // Bond/Angle convolutions.  Eq. 10 uses the fresh v^{t+1} (and, for the
+  // angle update, the fresh e^{t+1}); Eq. 11 uses the stale features, which
+  // makes the BondConv and AngleUpdate inputs identical.
+  const Var& v_for_bond = eliminate_deps_ ? s.v : v_new;
+  Var v_center = index_select0(v_for_bond, *topo.angle_center);
+  Var e1 = index_select0(s.e, *topo.angle_e1);
+  Var e2 = index_select0(s.e, *topo.angle_e2);
+  Var f_e = cat({v_center, e1, e2, s.a}, 1);  // [G,4C]
+
+  Var w = mul(index_select0(eb, *topo.angle_e1),
+              index_select0(eb, *topo.angle_e2));
+  Var bond_msg = mul(w, bond_mlp_.forward(f_e));
+  Var bond_agg = index_add0(topo.num_edges, *topo.angle_e1, bond_msg);
+  Var e_new = add(s.e, bond_proj_.forward(bond_agg));
+
+  Var a_new;
+  if (eliminate_deps_) {
+    // Eq. 11: AngleUpdate shares f_e exactly -- no regathering, no
+    // dependency on e^{t+1}.
+    a_new = add(s.a, angle_mlp_.forward(f_e));
+  } else {
+    // Eq. 10: AngleUpdate rebuilds its input from the *updated* bonds.
+    Var e1n = index_select0(e_new, *topo.angle_e1);
+    Var e2n = index_select0(e_new, *topo.angle_e2);
+    Var f_a = cat({v_center, e1n, e2n, s.a}, 1);
+    a_new = add(s.a, angle_mlp_.forward(f_a));
+  }
+
+  s.v = v_new;
+  s.e = e_new;
+  s.a = a_new;
+}
+
+}  // namespace fastchg::model

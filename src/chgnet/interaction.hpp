@@ -1,0 +1,70 @@
+// Interaction block (paper Sec. II-B (3) and III-B "Dependency
+// Elimination").
+//
+// Reference dependencies (Eq. 10):
+//   v^{t+1} = AtomConv(v^t, e^t)
+//   e^{t+1} = BondConv(v^{t+1}, e^t, a^t)
+//   a^{t+1} = AngleUpdate(v^{t+1}, e^{t+1}, a^t)
+//
+// With dependency_elimination (Eq. 11) BondConv and AngleUpdate read the
+// *stale* features v^t, e^t; their inputs become identical, so the shared
+// [v_i, e_ij, e_ik, a_ijk] concat is built once and the three updates are
+// independent (on a GPU they would run concurrently).
+#pragma once
+
+#include <vector>
+
+#include "chgnet/config.hpp"
+#include "nn/gated_mlp.hpp"
+#include "nn/linear.hpp"
+
+namespace fastchg::model {
+
+using ag::Var;
+
+/// Non-owning view of the batched graph topology used by the blocks.
+struct GraphTopo {
+  index_t num_atoms = 0;
+  index_t num_edges = 0;
+  index_t num_angles = 0;
+  const std::vector<index_t>* edge_src = nullptr;
+  const std::vector<index_t>* edge_dst = nullptr;
+  const std::vector<index_t>* angle_e1 = nullptr;
+  const std::vector<index_t>* angle_e2 = nullptr;
+  const std::vector<index_t>* angle_center = nullptr;
+};
+
+/// Mutable per-layer feature state.
+struct BlockState {
+  Var v;  ///< [A,C] atom features
+  Var e;  ///< [E,C] bond features
+  Var a;  ///< [G,C] angle features
+};
+
+class InteractionBlock : public nn::Module {
+ public:
+  /// `last` blocks only run AtomConv (matching reference CHGNet, whose final
+  /// block updates atoms only).
+  InteractionBlock(const ModelConfig& cfg, bool last, Rng& rng);
+
+  /// In-place update of `s`.  `ea` / `eb` are the bond weight tensors
+  /// e_ij^a, e_ij^b of Eq. 2 ([E,C] each).
+  void apply(BlockState& s, const GraphTopo& topo, const Var& ea,
+             const Var& eb) const;
+
+  bool last() const { return last_; }
+
+ private:
+  Var atom_conv(const BlockState& s, const GraphTopo& topo,
+                const Var& ea) const;
+
+  bool last_;
+  bool eliminate_deps_;
+  nn::GatedMLP atom_mlp_;   ///< [3C] -> C
+  nn::GatedMLP bond_mlp_;   ///< [4C] -> C
+  nn::GatedMLP angle_mlp_;  ///< [4C] -> C
+  nn::Linear atom_proj_;    ///< L_v
+  nn::Linear bond_proj_;    ///< L_e
+};
+
+}  // namespace fastchg::model

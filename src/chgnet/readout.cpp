@@ -1,0 +1,38 @@
+#include "chgnet/readout.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace fastchg::model {
+
+using namespace ag::ops;
+
+EnergyHead::EnergyHead(const ModelConfig& cfg, Rng& rng)
+    : fc1_(cfg.feat_dim, cfg.feat_dim, rng), fc2_(cfg.feat_dim, 1, rng) {
+  add_child("fc1", &fc1_);
+  add_child("fc2", &fc2_);
+}
+
+Var EnergyHead::forward(const Var& atom_feat,
+                        const std::vector<index_t>& atom_struct,
+                        index_t num_structs,
+                        const std::vector<index_t>& natoms) const {
+  Var per_atom = fc2_.forward(silu(fc1_.forward(atom_feat)));  // [A,1]
+  Var per_struct = index_add0(num_structs, atom_struct, per_atom);  // [S,1]
+  Tensor inv_n = Tensor::empty({num_structs, 1});
+  for (index_t s = 0; s < num_structs; ++s) {
+    inv_n.data()[s] =
+        1.0f / static_cast<float>(natoms[static_cast<std::size_t>(s)]);
+  }
+  return mul(per_struct, constant(std::move(inv_n)));  // energy per atom
+}
+
+MagmomHead::MagmomHead(const ModelConfig& cfg, Rng& rng)
+    : proj_(cfg.feat_dim, 1, rng) {
+  add_child("proj", &proj_);
+}
+
+Var MagmomHead::forward(const Var& atom_feat) const {
+  return proj_.forward(atom_feat);
+}
+
+}  // namespace fastchg::model

@@ -1,0 +1,41 @@
+// Output layer (paper Sec. II-B (4)): energy is a nonlinear projection of
+// the final atom features summed per structure; the magmom head is a linear
+// projection per atom.  Force/stress are produced either by automatic
+// differentiation of the energy (reference) or by the decoupled heads in
+// src/fastchgnet/heads.hpp.
+#pragma once
+
+#include <vector>
+
+#include "chgnet/config.hpp"
+#include "nn/linear.hpp"
+
+namespace fastchg::model {
+
+using ag::Var;
+
+class EnergyHead : public nn::Module {
+ public:
+  EnergyHead(const ModelConfig& cfg, Rng& rng);
+
+  /// Final atom features [A,C] -> energy per atom [S,1] (the mean of the
+  /// per-atom contributions of each structure).
+  Var forward(const Var& atom_feat, const std::vector<index_t>& atom_struct,
+              index_t num_structs,
+              const std::vector<index_t>& natoms) const;
+
+ private:
+  nn::Linear fc1_, fc2_;
+};
+
+class MagmomHead : public nn::Module {
+ public:
+  MagmomHead(const ModelConfig& cfg, Rng& rng);
+  /// Final atom features [A,C] -> magnetic moments [A,1].
+  Var forward(const Var& atom_feat) const;
+
+ private:
+  nn::Linear proj_;
+};
+
+}  // namespace fastchg::model

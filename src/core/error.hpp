@@ -1,0 +1,39 @@
+// Error handling: all invariant violations throw fastchg::Error with a
+// formatted message and source location.  Following the C++ Core Guidelines
+// (E.2, I.10) we use exceptions for errors that cannot be handled locally and
+// never error codes.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fastchg {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fastchg
+
+/// Check a runtime invariant; on failure throw fastchg::Error carrying the
+/// streamed message, e.g. FASTCHG_CHECK(a == b, "shape mismatch " << a).
+#define FASTCHG_CHECK(cond, msg)                             \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      std::ostringstream fastchg_os_;                        \
+      fastchg_os_ << "check failed (" #cond "): " << msg;    \
+      ::fastchg::detail::throw_error(__FILE__, __LINE__,     \
+                                     fastchg_os_.str());     \
+    }                                                        \
+  } while (0)

@@ -1,0 +1,29 @@
+// Kernel-level threading: a tiny persistent thread pool with an OpenMP-style
+// parallel_for.  Heavy tensor kernels (matmul, large elementwise loops)
+// split their row ranges across workers; on a single-core host (or with
+// FASTCHG_NUM_THREADS=1) everything runs inline with zero overhead, keeping
+// results bit-identical across thread counts (ranges are disjoint and no
+// reductions cross partitions).
+#pragma once
+
+#include <functional>
+
+#include "core/tensor.hpp"
+
+namespace fastchg {
+
+/// Current worker count (>= 1).  Initialized from FASTCHG_NUM_THREADS, else
+/// std::thread::hardware_concurrency().
+int num_threads();
+
+/// Override the worker count (rebuilds the pool; not thread-safe with
+/// concurrent parallel_for calls).
+void set_num_threads(int n);
+
+/// Invoke fn(begin_i, end_i) over a partition of [begin, end).  Ranges are
+/// contiguous, disjoint, and cover the interval exactly.  Runs inline when
+/// the range is shorter than `grain` or only one worker exists.
+void parallel_for(index_t begin, index_t end, index_t grain,
+                  const std::function<void(index_t, index_t)>& fn);
+
+}  // namespace fastchg

@@ -1,0 +1,137 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+#include "perf/counters.hpp"
+
+namespace fastchg {
+
+index_t numel_of(const Shape& shape) {
+  index_t n = 1;
+  for (index_t d : shape) {
+    FASTCHG_CHECK(d >= 0, "negative dimension in shape " << shape_str(shape));
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool same_shape(const Shape& a, const Shape& b) { return a == b; }
+
+struct Tensor::Storage {
+  explicit Storage(index_t n)
+      : data(new float[static_cast<std::size_t>(n)]), n(n) {
+    perf::track_alloc(tensor_bytes(n));
+  }
+  ~Storage() { perf::track_free(tensor_bytes(n)); }
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  std::unique_ptr<float[]> data;
+  index_t n;
+};
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.numel_ = numel_of(shape);
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<Storage>(std::max<index_t>(t.numel_, 1));
+  return t;
+}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t = empty(std::move(shape));
+  std::memset(t.data(), 0, static_cast<std::size_t>(t.numel_) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t = empty(std::move(shape));
+  std::fill_n(t.data(), t.numel_, value);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& v, Shape shape) {
+  Tensor t = empty(std::move(shape));
+  FASTCHG_CHECK(static_cast<index_t>(v.size()) == t.numel_,
+                "from_vector: " << v.size() << " values for shape "
+                                << shape_str(t.shape_));
+  std::copy(v.begin(), v.end(), t.data());
+  return t;
+}
+
+index_t Tensor::size(index_t d) const {
+  FASTCHG_CHECK(d >= 0 && d < dim(),
+                "size(" << d << ") on tensor of dim " << dim());
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+float* Tensor::data() {
+  FASTCHG_CHECK(defined(), "data() on undefined tensor");
+  return storage_->data.get();
+}
+
+const float* Tensor::data() const {
+  FASTCHG_CHECK(defined(), "data() on undefined tensor");
+  return storage_->data.get();
+}
+
+float Tensor::item() const {
+  FASTCHG_CHECK(numel_ == 1, "item() on tensor of numel " << numel_);
+  return data()[0];
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  FASTCHG_CHECK(defined(), "reshape() on undefined tensor");
+  const index_t n = numel_of(shape);
+  FASTCHG_CHECK(n == numel_, "reshape " << shape_str(shape_) << " -> "
+                                        << shape_str(shape));
+  Tensor t;
+  t.storage_ = storage_;
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  FASTCHG_CHECK(defined(), "clone() on undefined tensor");
+  Tensor t = empty(shape_);
+  std::memcpy(t.data(), data(),
+              static_cast<std::size_t>(numel_) * sizeof(float));
+  return t;
+}
+
+void Tensor::fill_(float value) { std::fill_n(data(), numel_, value); }
+
+void Tensor::add_(const Tensor& other, float alpha) {
+  FASTCHG_CHECK(same_shape(shape_, other.shape_),
+                "add_: " << shape_str(shape_) << " vs "
+                         << shape_str(other.shape_));
+  float* a = data();
+  const float* b = other.data();
+  for (index_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+}
+
+void Tensor::mul_(float s) {
+  float* a = data();
+  for (index_t i = 0; i < numel_; ++i) a[i] *= s;
+}
+
+std::vector<float> Tensor::to_vector() const {
+  return std::vector<float>(data(), data() + numel_);
+}
+
+}  // namespace fastchg

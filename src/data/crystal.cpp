@@ -1,0 +1,105 @@
+#include "data/crystal.hpp"
+
+#include <cmath>
+
+namespace fastchg::data {
+
+Vec3 mat_vec(const Mat3& m, const Vec3& v) {
+  // row-vector convention: out = v @ m
+  Vec3 out{};
+  for (int j = 0; j < 3; ++j) {
+    out[j] = v[0] * m[0][j] + v[1] * m[1][j] + v[2] * m[2][j];
+  }
+  return out;
+}
+
+Mat3 mat_mul(const Mat3& a, const Mat3& b) {
+  Mat3 out{};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      for (int k = 0; k < 3; ++k) out[i][j] += a[i][k] * b[k][j];
+  return out;
+}
+
+double det3(const Mat3& m) {
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+Mat3 inv3(const Mat3& m) {
+  const double d = det3(m);
+  Mat3 inv{};
+  inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) / d;
+  inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / d;
+  inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) / d;
+  inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) / d;
+  inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) / d;
+  inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) / d;
+  inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) / d;
+  inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) / d;
+  inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) / d;
+  return inv;
+}
+
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+std::vector<Vec3> Crystal::cart() const {
+  std::vector<Vec3> out(frac.size());
+  for (std::size_t i = 0; i < frac.size(); ++i) {
+    out[i] = mat_vec(lattice, frac[i]);
+  }
+  return out;
+}
+
+Vec3 wrap_frac(const Vec3& f) {
+  Vec3 w;
+  for (int d = 0; d < 3; ++d) {
+    w[d] = f[d] - std::floor(f[d]);
+  }
+  return w;
+}
+
+std::vector<Vec3> Crystal::wrapped_cart() const {
+  std::vector<Vec3> out(frac.size());
+  for (std::size_t i = 0; i < frac.size(); ++i) {
+    out[i] = mat_vec(lattice, wrap_frac(frac[i]));
+  }
+  return out;
+}
+
+double Crystal::volume() const { return std::fabs(det3(lattice)); }
+
+Crystal make_supercell(const Crystal& c, int na, int nb, int nc) {
+  Crystal s;
+  const double fa = na, fb = nb, fc = nc;
+  for (int j = 0; j < 3; ++j) {
+    s.lattice[0][j] = c.lattice[0][j] * fa;
+    s.lattice[1][j] = c.lattice[1][j] * fb;
+    s.lattice[2][j] = c.lattice[2][j] * fc;
+  }
+  for (int ia = 0; ia < na; ++ia) {
+    for (int ib = 0; ib < nb; ++ib) {
+      for (int ic = 0; ic < nc; ++ic) {
+        for (std::size_t atom = 0; atom < c.frac.size(); ++atom) {
+          s.frac.push_back({(c.frac[atom][0] + ia) / fa,
+                            (c.frac[atom][1] + ib) / fb,
+                            (c.frac[atom][2] + ic) / fc});
+          s.species.push_back(c.species[atom]);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace fastchg::data

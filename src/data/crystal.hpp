@@ -1,0 +1,58 @@
+// Periodic crystal structure with DFT-style labels.
+//
+// Units: Angstrom for lengths, eV for energies, eV/A for forces, eV/A^3 for
+// stress (multiply by 160.21766 for GPa), Bohr magneton for magmoms --
+// matching the property set CHGNet trains on (energy, force, stress, magmom).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fastchg::data {
+
+using Vec3 = std::array<double, 3>;
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+/// eV/A^3 -> GPa conversion factor.
+inline constexpr double kEvA3ToGPa = 160.21766208;
+
+struct Crystal {
+  Mat3 lattice{};                    ///< rows are lattice vectors a, b, c
+  std::vector<Vec3> frac;            ///< fractional coordinates, [N]
+  std::vector<index_t> species;      ///< atomic numbers, [N]
+
+  // Labels (filled by the oracle; zero until labelled).
+  double energy = 0.0;               ///< total energy, eV
+  std::vector<Vec3> forces;          ///< eV/A, [N]
+  Mat3 stress{};                     ///< eV/A^3
+  std::vector<double> magmom;        ///< mu_B, [N]
+
+  index_t natoms() const { return static_cast<index_t>(frac.size()); }
+  /// Cartesian coordinates r = f @ L.
+  std::vector<Vec3> cart() const;
+  /// Cartesian coordinates with fractional parts wrapped into [0,1).
+  /// All geometry consumers (neighbour lists, the oracle, batch collation)
+  /// use this canonical image so out-of-cell inputs are handled uniformly.
+  std::vector<Vec3> wrapped_cart() const;
+  double volume() const;
+};
+
+/// Componentwise f - floor(f).
+Vec3 wrap_frac(const Vec3& f);
+
+/// na x nb x nc supercell of `c` (labels are dropped; relabel afterwards if
+/// needed).  Useful for size-extensivity checks and MD on larger cells.
+Crystal make_supercell(const Crystal& c, int na, int nb, int nc);
+
+// Small dense 3x3 / vector helpers shared across the data layer.
+Vec3 mat_vec(const Mat3& m_t, const Vec3& v);  ///< v @ m (row vector times matrix)
+Mat3 mat_mul(const Mat3& a, const Mat3& b);
+double det3(const Mat3& m);
+Mat3 inv3(const Mat3& m);
+Vec3 cross(const Vec3& a, const Vec3& b);
+double dot(const Vec3& a, const Vec3& b);
+double norm(const Vec3& a);
+
+}  // namespace fastchg::data

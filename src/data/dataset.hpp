@@ -1,0 +1,67 @@
+// Dataset: labelled crystals plus their prebuilt graphs, train/val/test
+// splitting (paper: 0.9 / 0.05 / 0.05), and the distribution statistics
+// behind Fig. 5 and the load-balance analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "data/graph.hpp"
+#include "data/oracle.hpp"
+
+namespace fastchg::data {
+
+struct Sample {
+  Crystal crystal;
+  GraphData graph;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Generate `n` random crystals, label them with the oracle, and build
+  /// their graphs.  Deterministic given `seed`.
+  static Dataset generate(index_t n, std::uint64_t seed,
+                          const GeneratorConfig& gen_cfg = {},
+                          const GraphConfig& graph_cfg = {},
+                          const OracleParams& oracle_params = {});
+
+  /// Wrap existing crystals (labels them if `relabel`).
+  static Dataset from_crystals(std::vector<Crystal> crystals,
+                               const GraphConfig& graph_cfg = {},
+                               const OracleParams& oracle_params = {},
+                               bool relabel = true);
+
+  index_t size() const { return static_cast<index_t>(samples_.size()); }
+  const Sample& operator[](index_t i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+
+  struct Split {
+    std::vector<index_t> train, val, test;
+  };
+  /// Shuffled split by fraction; train gets the remainder.
+  Split split(double val_frac, double test_frac, std::uint64_t seed) const;
+
+  struct Histogram {
+    std::vector<double> edges;       ///< bin upper bounds
+    std::vector<index_t> counts;
+  };
+  struct DistributionStats {
+    Histogram atoms, bonds, angles;
+    double mean_atoms = 0, mean_bonds = 0, mean_angles = 0;
+    index_t max_atoms = 0, max_bonds = 0, max_angles = 0;
+  };
+  /// Per-structure atom/bond/angle histograms (Fig. 5).
+  DistributionStats distribution(index_t num_bins = 20) const;
+
+  const GraphConfig& graph_config() const { return graph_cfg_; }
+
+ private:
+  std::vector<Sample> samples_;
+  GraphConfig graph_cfg_;
+};
+
+}  // namespace fastchg::data

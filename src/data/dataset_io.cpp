@@ -1,0 +1,100 @@
+#include "data/dataset_io.hpp"
+
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace fastchg::data {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xDA7A5E7u;
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FASTCHG_CHECK(is.good(), "dataset file: truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FASTCHG_CHECK(os.is_open(), "save_dataset: cannot open '" << path << "'");
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, ds.graph_config().atom_cutoff);
+  write_pod(os, ds.graph_config().bond_cutoff);
+  write_pod(os, static_cast<std::uint64_t>(ds.size()));
+  for (index_t s = 0; s < ds.size(); ++s) {
+    const Crystal& c = ds[s].crystal;
+    write_pod(os, static_cast<std::uint64_t>(c.natoms()));
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) write_pod(os, c.lattice[i][j]);
+    }
+    for (index_t a = 0; a < c.natoms(); ++a) {
+      const auto sa = static_cast<std::size_t>(a);
+      write_pod(os, static_cast<std::int64_t>(c.species[sa]));
+      for (int d = 0; d < 3; ++d) write_pod(os, c.frac[sa][d]);
+      for (int d = 0; d < 3; ++d) write_pod(os, c.forces[sa][d]);
+      write_pod(os, c.magmom[sa]);
+    }
+    write_pod(os, c.energy);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) write_pod(os, c.stress[i][j]);
+    }
+  }
+  FASTCHG_CHECK(os.good(), "save_dataset: write failed");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FASTCHG_CHECK(is.is_open(), "load_dataset: cannot open '" << path << "'");
+  FASTCHG_CHECK(read_pod<std::uint32_t>(is) == kMagic,
+                "load_dataset: '" << path << "' is not a dataset file");
+  const auto version = read_pod<std::uint32_t>(is);
+  FASTCHG_CHECK(version == kVersion,
+                "load_dataset: unsupported version " << version);
+  GraphConfig gc;
+  gc.atom_cutoff = read_pod<double>(is);
+  gc.bond_cutoff = read_pod<double>(is);
+  const auto n = read_pod<std::uint64_t>(is);
+  FASTCHG_CHECK(n < (1u << 24), "load_dataset: implausible sample count");
+  std::vector<Crystal> crystals;
+  crystals.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t s = 0; s < n; ++s) {
+    Crystal c;
+    const auto natoms = read_pod<std::uint64_t>(is);
+    FASTCHG_CHECK(natoms < (1u << 20), "load_dataset: implausible atoms");
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) c.lattice[i][j] = read_pod<double>(is);
+    }
+    c.species.resize(static_cast<std::size_t>(natoms));
+    c.frac.resize(static_cast<std::size_t>(natoms));
+    c.forces.resize(static_cast<std::size_t>(natoms));
+    c.magmom.resize(static_cast<std::size_t>(natoms));
+    for (std::uint64_t a = 0; a < natoms; ++a) {
+      c.species[a] = static_cast<index_t>(read_pod<std::int64_t>(is));
+      for (int d = 0; d < 3; ++d) c.frac[a][d] = read_pod<double>(is);
+      for (int d = 0; d < 3; ++d) c.forces[a][d] = read_pod<double>(is);
+      c.magmom[a] = read_pod<double>(is);
+    }
+    c.energy = read_pod<double>(is);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) c.stress[i][j] = read_pod<double>(is);
+    }
+    crystals.push_back(std::move(c));
+  }
+  return Dataset::from_crystals(std::move(crystals), gc, {},
+                                /*relabel=*/false);
+}
+
+}  // namespace fastchg::data

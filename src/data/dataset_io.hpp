@@ -1,0 +1,19 @@
+// Dataset caching: save labelled crystals (with their GraphConfig) to a
+// binary file and reload without regenerating or relabelling.  Graphs are
+// rebuilt on load (deterministic given the crystals + config), keeping the
+// file small and format-stable.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace fastchg::data {
+
+void save_dataset(const Dataset& ds, const std::string& path);
+
+/// Load a dataset saved with save_dataset.  Throws fastchg::Error on
+/// missing file, bad magic, or truncation.
+Dataset load_dataset(const std::string& path);
+
+}  // namespace fastchg::data

@@ -1,0 +1,120 @@
+#include "data/generator.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace fastchg::data {
+
+namespace {
+
+/// Minimum-image distance between two fractional positions (search over the
+/// 27 nearest images; adequate for the compact cells we generate).
+double min_image_dist(const Mat3& lat, const Vec3& fa, const Vec3& fb) {
+  double best = 1e30;
+  for (int na = -1; na <= 1; ++na) {
+    for (int nb = -1; nb <= 1; ++nb) {
+      for (int nc = -1; nc <= 1; ++nc) {
+        const Vec3 df{fb[0] - fa[0] + na, fb[1] - fa[1] + nb,
+                      fb[2] - fa[2] + nc};
+        const Vec3 d = mat_vec(lat, df);
+        best = std::min(best, norm(d));
+      }
+    }
+  }
+  return best;
+}
+
+Crystal build_cell(Rng& rng, index_t natoms,
+                   const std::vector<index_t>& species, double vol_per_atom,
+                   double shear_max, double min_dist) {
+  Crystal c;
+  c.species = species;
+  const double len =
+      std::cbrt(vol_per_atom * static_cast<double>(natoms));
+  // Random anisotropy + shear around a cube of the right volume.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) {
+        c.lattice[i][j] = len * rng.uniform(0.85, 1.2);
+      } else {
+        c.lattice[i][j] = len * rng.uniform(-shear_max, shear_max);
+      }
+    }
+  }
+  c.frac.resize(static_cast<std::size_t>(natoms));
+  for (index_t i = 0; i < natoms; ++i) {
+    Vec3 f{};
+    bool placed = false;
+    for (int attempt = 0; attempt < 60 && !placed; ++attempt) {
+      f = {rng.uniform(), rng.uniform(), rng.uniform()};
+      placed = true;
+      for (index_t j = 0; j < i; ++j) {
+        if (min_image_dist(c.lattice, c.frac[static_cast<std::size_t>(j)],
+                           f) < min_dist) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    c.frac[static_cast<std::size_t>(i)] = f;  // last try kept if crowded
+  }
+  return c;
+}
+
+}  // namespace
+
+Crystal random_crystal(Rng& rng, const GeneratorConfig& cfg) {
+  const double ln = rng.normal(cfg.lognormal_mu, cfg.lognormal_sigma);
+  index_t natoms = static_cast<index_t>(std::lround(std::exp(ln)));
+  natoms = std::max(cfg.min_atoms, std::min(cfg.max_atoms, natoms));
+
+  // Z-weighted species draw: lighter elements more common, mimicking the
+  // oxide-dominated composition of MPtrj.
+  std::vector<double> weights(static_cast<std::size_t>(cfg.num_species));
+  for (std::size_t z = 0; z < weights.size(); ++z) {
+    weights[z] = 1.0 / (1.0 + 0.08 * static_cast<double>(z));
+  }
+  std::vector<index_t> species(static_cast<std::size_t>(natoms));
+  for (auto& s : species) {
+    s = static_cast<index_t>(rng.categorical(weights)) + 1;
+  }
+  const double vpa = rng.uniform(cfg.vol_per_atom_min, cfg.vol_per_atom_max);
+  return build_cell(rng, natoms, species, vpa, cfg.shear_max, cfg.min_dist);
+}
+
+Crystal make_reference_structure(const std::string& name) {
+  std::vector<index_t> species;
+  double vol_per_atom = 0.0;
+  std::uint64_t seed = 0;
+  if (name == "LiMnO2") {
+    // 2x (Li Mn O2) = 8 atoms
+    species = {3, 3, 25, 25, 8, 8, 8, 8};
+    vol_per_atom = 19.5;
+    seed = 101;
+  } else if (name == "LiTiPO5") {
+    // 4x (Li Ti P O5) = 32 atoms
+    for (int r = 0; r < 4; ++r) {
+      species.push_back(3);
+      species.push_back(22);
+      species.push_back(15);
+      for (int o = 0; o < 5; ++o) species.push_back(8);
+    }
+    vol_per_atom = 10.0;
+    seed = 202;
+  } else if (name == "Li9Co7O16") {
+    // Li9 Co7 O16 = 32 atoms
+    for (int r = 0; r < 9; ++r) species.push_back(3);
+    for (int r = 0; r < 7; ++r) species.push_back(27);
+    for (int r = 0; r < 16; ++r) species.push_back(8);
+    vol_per_atom = 7.4;
+    seed = 303;
+  } else {
+    FASTCHG_CHECK(false, "unknown reference structure '" << name << "'");
+  }
+  Rng rng(seed);
+  return build_cell(rng, static_cast<index_t>(species.size()), species,
+                    vol_per_atom, /*shear_max=*/0.05, /*min_dist=*/1.6);
+}
+
+}  // namespace fastchg::data

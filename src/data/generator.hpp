@@ -1,0 +1,40 @@
+// Synthetic MPtrj-like structure generator.
+//
+// The paper's load-balancing and scaling results hinge on MPtrj's long-tail
+// distribution of atoms/bonds/angles per structure (Fig. 5).  The generator
+// reproduces that shape: cell sizes are drawn from a clipped log-normal,
+// species from a Z-weighted categorical over 89 elements, lattices are
+// randomly sheared, and atoms are placed with a minimum-distance rejection
+// loop so the oracle potential stays in a physical regime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "data/crystal.hpp"
+
+namespace fastchg::data {
+
+struct GeneratorConfig {
+  index_t min_atoms = 2;
+  index_t max_atoms = 64;
+  double lognormal_mu = 2.3;     ///< of atom count (exp(2.3) ~ 10 atoms)
+  double lognormal_sigma = 0.7;  ///< long tail
+  double vol_per_atom_min = 14.0;  ///< A^3
+  double vol_per_atom_max = 24.0;
+  double shear_max = 0.15;       ///< relative off-diagonal lattice shear
+  double min_dist = 1.7;         ///< A, placement rejection threshold
+  index_t num_species = 89;      ///< elements 1..89, like MPtrj
+};
+
+/// One random unlabelled crystal.
+Crystal random_crystal(Rng& rng, const GeneratorConfig& cfg = {});
+
+/// Fixed benchmark structures standing in for the paper's Table-II systems
+/// (LiMnO2, LiTiPO5, Li9Co7O16): correct stoichiometry and atom counts,
+/// cell volumes tuned so the atom/bond/angle workload is in the same regime
+/// as the paper's feature numbers (1088 / 3582 / 10188).
+Crystal make_reference_structure(const std::string& name);
+
+}  // namespace fastchg::data

@@ -1,0 +1,40 @@
+#include "data/graph.hpp"
+
+namespace fastchg::data {
+
+GraphData build_graph(const Crystal& c, const GraphConfig& cfg) {
+  GraphData g;
+  g.num_atoms = c.natoms();
+  g.species = c.species;
+
+  NeighborList nl = build_neighbor_list(c, cfg.atom_cutoff);
+  g.edge_src = std::move(nl.src);
+  g.edge_dst = std::move(nl.dst);
+  g.edge_image = std::move(nl.image);
+  g.edge_dist = std::move(nl.dist);
+
+  // Group short edges by their central atom, then emit ordered pairs.
+  const index_t ne = g.num_edges();
+  std::vector<std::vector<index_t>> short_by_src(
+      static_cast<std::size_t>(g.num_atoms));
+  for (index_t e = 0; e < ne; ++e) {
+    if (g.edge_dist[static_cast<std::size_t>(e)] <= cfg.bond_cutoff) {
+      g.short_edges.push_back(e);
+      short_by_src[static_cast<std::size_t>(
+                       g.edge_src[static_cast<std::size_t>(e)])]
+          .push_back(e);
+    }
+  }
+  for (const auto& edges : short_by_src) {
+    for (index_t e1 : edges) {
+      for (index_t e2 : edges) {
+        if (e1 == e2) continue;
+        g.angle_e1.push_back(e1);
+        g.angle_e2.push_back(e2);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace fastchg::data

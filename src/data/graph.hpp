@@ -1,0 +1,50 @@
+// Molecular graph extraction (paper Sec. II-B (1)): from a crystal build
+//  * the atom graph G^a: directed edges within `atom_cutoff` (default 6 A);
+//  * the bond graph G^b: angles between pairs of *short* bonds (dist <=
+//    `bond_cutoff`, default 3 A) sharing a central atom; each angle
+//    references two atom-graph edge indices (e_ij, e_ik) with common src i.
+#pragma once
+
+#include <vector>
+
+#include "data/neighbor.hpp"
+
+namespace fastchg::data {
+
+struct GraphConfig {
+  double atom_cutoff = 6.0;  ///< A (paper default)
+  double bond_cutoff = 3.0;  ///< A (paper default)
+};
+
+struct GraphData {
+  index_t num_atoms = 0;
+  std::vector<index_t> species;
+
+  // Atom graph (directed).
+  std::vector<index_t> edge_src;
+  std::vector<index_t> edge_dst;
+  std::vector<Vec3> edge_image;
+  std::vector<double> edge_dist;  ///< |r_ij| at build time (convenience)
+
+  // Bond graph: indices into the edge arrays; both edges share src and have
+  // edge_dist <= bond_cutoff.  Ordered pairs (e1 != e2), matching Eq. 5's
+  // sum over k != j.
+  std::vector<index_t> angle_e1;
+  std::vector<index_t> angle_e2;
+
+  // Edge indices whose dist <= bond_cutoff (the bond-graph nodes).
+  std::vector<index_t> short_edges;
+
+  index_t num_edges() const { return static_cast<index_t>(edge_src.size()); }
+  index_t num_angles() const {
+    return static_cast<index_t>(angle_e1.size());
+  }
+  /// Paper's workload measure (Fig. 9): atoms + bonds + angles.
+  index_t feature_number() const {
+    return num_atoms + num_edges() + num_angles();
+  }
+};
+
+GraphData build_graph(const Crystal& c, const GraphConfig& cfg = {});
+
+}  // namespace fastchg::data

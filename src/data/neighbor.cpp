@@ -1,0 +1,166 @@
+#include "data/neighbor.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace fastchg::data {
+
+namespace {
+
+/// Perpendicular plane spacings h_k = V / |a_u x a_v|.
+std::array<double, 3> plane_spacings(const Mat3& lattice) {
+  const double vol = std::fabs(det3(lattice));
+  std::array<double, 3> h{};
+  for (int k = 0; k < 3; ++k) {
+    const Vec3 u = {lattice[(k + 1) % 3][0], lattice[(k + 1) % 3][1],
+                    lattice[(k + 1) % 3][2]};
+    const Vec3 v = {lattice[(k + 2) % 3][0], lattice[(k + 2) % 3][1],
+                    lattice[(k + 2) % 3][2]};
+    h[k] = vol / norm(cross(u, v));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::array<int, 3> image_search_range(const Mat3& lattice, double cutoff) {
+  // Perpendicular spacing of the planes spanned by the other two vectors:
+  // h_k = V / |a_u x a_v|; we need ceil(cutoff / h_k) images along k for
+  // positions wrapped into the home cell.
+  const auto h = plane_spacings(lattice);
+  std::array<int, 3> range{};
+  for (int k = 0; k < 3; ++k) {
+    range[k] = static_cast<int>(std::ceil(cutoff / h[k]));
+  }
+  return range;
+}
+
+bool cell_list_applicable(const Mat3& lattice, double cutoff) {
+  const auto h = plane_spacings(lattice);
+  for (int k = 0; k < 3; ++k) {
+    if (static_cast<int>(std::floor(h[k] / cutoff)) < 3) return false;
+  }
+  return true;
+}
+
+NeighborList build_neighbor_list(const Crystal& c, double cutoff) {
+  NeighborList nl;
+  const index_t n = c.natoms();
+  const std::vector<Vec3> cart = c.wrapped_cart();
+  const auto range = image_search_range(c.lattice, cutoff);
+  const double cut2 = cutoff * cutoff;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      for (int na = -range[0]; na <= range[0]; ++na) {
+        for (int nb = -range[1]; nb <= range[1]; ++nb) {
+          for (int nc = -range[2]; nc <= range[2]; ++nc) {
+            if (i == j && na == 0 && nb == 0 && nc == 0) continue;
+            const Vec3 img{static_cast<double>(na), static_cast<double>(nb),
+                           static_cast<double>(nc)};
+            const Vec3 shift = mat_vec(c.lattice, img);
+            const Vec3 d{cart[j][0] + shift[0] - cart[i][0],
+                         cart[j][1] + shift[1] - cart[i][1],
+                         cart[j][2] + shift[2] - cart[i][2]};
+            const double d2 = dot(d, d);
+            if (d2 > cut2 || d2 < 1e-12) continue;
+            nl.src.push_back(i);
+            nl.dst.push_back(j);
+            nl.image.push_back(img);
+            nl.rij.push_back(d);
+            nl.dist.push_back(std::sqrt(d2));
+          }
+        }
+      }
+    }
+  }
+  return nl;
+}
+
+
+NeighborList build_neighbor_list_cell(const Crystal& c, double cutoff) {
+  FASTCHG_CHECK(cell_list_applicable(c.lattice, cutoff),
+                "cell list needs a cell >= 3 cutoffs wide in every "
+                "perpendicular direction (cutoff " << cutoff << ")");
+  const index_t n = c.natoms();
+  NeighborList nl;
+  const auto h = plane_spacings(c.lattice);
+  int nc[3];
+  for (int k = 0; k < 3; ++k) {
+    nc[k] = static_cast<int>(std::floor(h[k] / cutoff));
+  }
+  // Bin atoms by wrapped fractional coordinate.
+  std::vector<Vec3> wfrac(static_cast<std::size_t>(n));
+  std::vector<Vec3> cart(static_cast<std::size_t>(n));
+  const auto nbins =
+      static_cast<std::size_t>(nc[0]) * nc[1] * nc[2];
+  std::vector<std::vector<index_t>> bins(nbins);
+  auto bin_of = [&](int a, int b, int cc) {
+    return (static_cast<std::size_t>(a) * nc[1] + b) * nc[2] + cc;
+  };
+  for (index_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    wfrac[si] = wrap_frac(c.frac[si]);
+    cart[si] = mat_vec(c.lattice, wfrac[si]);
+    int b[3];
+    for (int k = 0; k < 3; ++k) {
+      b[k] = std::min(nc[k] - 1,
+                      static_cast<int>(wfrac[si][k] * nc[k]));
+    }
+    bins[bin_of(b[0], b[1], b[2])].push_back(i);
+  }
+  const double cut2 = cutoff * cutoff;
+  for (index_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    int b[3];
+    for (int k = 0; k < 3; ++k) {
+      b[k] = std::min(nc[k] - 1,
+                      static_cast<int>(wfrac[si][k] * nc[k]));
+    }
+    for (int da = -1; da <= 1; ++da) {
+      for (int db = -1; db <= 1; ++db) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          int bb[3] = {b[0] + da, b[1] + db, b[2] + dc};
+          Vec3 img{};
+          for (int k = 0; k < 3; ++k) {
+            if (bb[k] < 0) {
+              bb[k] += nc[k];
+              img[k] = -1.0;
+            } else if (bb[k] >= nc[k]) {
+              bb[k] -= nc[k];
+              img[k] = 1.0;
+            }
+          }
+          // Neighbour j sits in bin bb of image `img` relative to i:
+          // r_j(image) = cart_j + img @ L.
+          const Vec3 shift = mat_vec(c.lattice, img);
+          for (index_t j : bins[bin_of(bb[0], bb[1], bb[2])]) {
+            if (j == i && img[0] == 0 && img[1] == 0 && img[2] == 0) {
+              continue;
+            }
+            const auto sj = static_cast<std::size_t>(j);
+            const Vec3 d{cart[sj][0] + shift[0] - cart[si][0],
+                         cart[sj][1] + shift[1] - cart[si][1],
+                         cart[sj][2] + shift[2] - cart[si][2]};
+            const double d2 = dot(d, d);
+            if (d2 > cut2 || d2 < 1e-12) continue;
+            nl.src.push_back(i);
+            nl.dst.push_back(j);
+            nl.image.push_back(img);
+            nl.rij.push_back(d);
+            nl.dist.push_back(std::sqrt(d2));
+          }
+        }
+      }
+    }
+  }
+  return nl;
+}
+
+NeighborList build_neighbor_list_auto(const Crystal& c, double cutoff) {
+  return cell_list_applicable(c.lattice, cutoff)
+             ? build_neighbor_list_cell(c, cutoff)
+             : build_neighbor_list(c, cutoff);
+}
+
+}  // namespace fastchg::data

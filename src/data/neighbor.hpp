@@ -1,0 +1,43 @@
+// Periodic neighbour list: all directed pairs (i -> j, image n) with
+// 0 < |r_j + n@L - r_i| <= cutoff.  Image search range per lattice direction
+// is derived from the perpendicular plane spacings so skewed cells are
+// handled correctly.
+#pragma once
+
+#include <vector>
+
+#include "data/crystal.hpp"
+
+namespace fastchg::data {
+
+struct NeighborList {
+  std::vector<index_t> src;    ///< central atom i
+  std::vector<index_t> dst;    ///< neighbour atom j
+  std::vector<Vec3> image;     ///< integer lattice image n of j
+  std::vector<double> dist;    ///< |r_ij|
+  std::vector<Vec3> rij;       ///< r_j + n@L - r_i
+
+  index_t size() const { return static_cast<index_t>(src.size()); }
+};
+
+/// Build the directed neighbour list of `c` within `cutoff` (Angstrom).
+/// Brute force over atom pairs x periodic images: O(N^2), exact for any
+/// cell shape/size.
+NeighborList build_neighbor_list(const Crystal& c, double cutoff);
+
+/// O(N) cell-list neighbour search for cells at least 3 cutoffs wide in
+/// every perpendicular direction (the MD-supercell regime); throws
+/// fastchg::Error otherwise.  Produces the same edge set as the brute-force
+/// search (verified by property tests), in a different order.
+NeighborList build_neighbor_list_cell(const Crystal& c, double cutoff);
+
+/// Dispatch: cell list when the cell qualifies, else brute force.
+NeighborList build_neighbor_list_auto(const Crystal& c, double cutoff);
+
+/// True if build_neighbor_list_cell supports this (lattice, cutoff).
+bool cell_list_applicable(const Mat3& lattice, double cutoff);
+
+/// Number of periodic images to search along each lattice direction.
+std::array<int, 3> image_search_range(const Mat3& lattice, double cutoff);
+
+}  // namespace fastchg::data

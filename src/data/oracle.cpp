@@ -1,0 +1,175 @@
+#include "data/oracle.hpp"
+
+#include <cmath>
+
+#include "data/graph.hpp"
+#include "data/neighbor.hpp"
+
+namespace fastchg::data {
+
+namespace {
+
+/// Smootherstep that falls from 1 at x=0 to 0 at x=1 with zero slope at both
+/// ends (keeps forces continuous at the cutoff).
+inline double switch_down(double x) {
+  if (x <= 0.0) return 1.0;
+  if (x >= 1.0) return 0.0;
+  return 1.0 - x * x * x * (10.0 - 15.0 * x + 6.0 * x * x);
+}
+
+inline double switch_down_deriv(double x) {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return -30.0 * x * x * (1.0 - 2.0 * x + x * x);
+}
+
+}  // namespace
+
+SpeciesParams species_params(index_t z) {
+  const double zf = static_cast<double>(z);
+  SpeciesParams p;
+  p.e0 = -3.0 + 2.0 * std::sin(0.05 * zf);
+  p.d = 1.2 + 0.5 * std::cos(0.21 * zf);
+  p.r0 = 2.0 + 0.5 * std::sin(0.37 * zf);
+  p.lambda = 0.30 + 0.20 * std::sin(0.13 * zf);
+  p.c0 = -0.30 + 0.30 * std::cos(0.40 * zf);
+  p.mu = 2.0 * std::fabs(std::sin(0.30 * zf));
+  p.w = 0.8 + 0.4 * std::cos(0.17 * zf);
+  return p;
+}
+
+Oracle::Result Oracle::evaluate(const Crystal& c) const {
+  Result res;
+  const index_t n = c.natoms();
+  res.forces.assign(static_cast<std::size_t>(n), Vec3{});
+  res.magmom.assign(static_cast<std::size_t>(n), 0.0);
+  const double vol = c.volume();
+
+  // dE/dr accumulators (forces = -dE/dr at the end).
+  std::vector<Vec3> de(static_cast<std::size_t>(n), Vec3{});
+  Mat3 virial{};  // sum u_a (dE/du)_b
+
+  std::vector<SpeciesParams> sp;
+  sp.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    sp.push_back(species_params(c.species[static_cast<std::size_t>(i)]));
+    res.energy += sp.back().e0;
+  }
+
+  // ---- pair term over directed edges (1/2 factor) -------------------------
+  NeighborList nl = build_neighbor_list(c, p_.pair_cutoff);
+  std::vector<double> coord(static_cast<std::size_t>(n), 0.0);
+  for (index_t e = 0; e < nl.size(); ++e) {
+    const auto i = static_cast<std::size_t>(nl.src[e]);
+    const auto j = static_cast<std::size_t>(nl.dst[e]);
+    const double r = nl.dist[e];
+    const Vec3& u = nl.rij[e];
+    const SpeciesParams& pi = sp[i];
+    const SpeciesParams& pj = sp[j];
+    const double dij = std::sqrt(pi.d * pj.d);
+    const double r0 = 0.5 * (pi.r0 + pj.r0);
+    const double a = 1.7 / r0;
+    const double ema = std::exp(-a * (r - r0));
+    const double morse = dij * (ema * ema - 2.0 * ema);
+    const double dmorse = dij * (-2.0 * a * ema * ema + 2.0 * a * ema);
+    const double x = r / p_.pair_cutoff;
+    const double s = switch_down(x);
+    const double ds = switch_down_deriv(x) / p_.pair_cutoff;
+    const double phi = morse * s;
+    const double dphi = dmorse * s + morse * ds;
+
+    res.energy += 0.5 * phi;
+    // dE/du for this edge: 0.5 * dphi * u/r
+    const double k = 0.5 * dphi / r;
+    for (int d = 0; d < 3; ++d) {
+      const double g = k * u[d];
+      de[j][d] += g;
+      de[i][d] -= g;
+    }
+    for (int aa = 0; aa < 3; ++aa)
+      for (int bb = 0; bb < 3; ++bb) virial[aa][bb] += u[aa] * k * u[bb];
+
+    // coordination for the magmom model
+    coord[i] += s * pj.w;
+  }
+
+  // ---- three-body term over ordered short-bond pairs (1/2 factor) ---------
+  GraphConfig gc;
+  gc.atom_cutoff = p_.triple_cutoff;  // only short bonds needed here
+  gc.bond_cutoff = p_.triple_cutoff;
+  GraphData g3 = build_graph(c, gc);
+  const std::vector<Vec3> cart = c.wrapped_cart();
+  auto edge_vec = [&](index_t e) -> Vec3 {
+    const auto se = static_cast<std::size_t>(e);
+    const Vec3 shift = mat_vec(c.lattice, g3.edge_image[se]);
+    const auto i = static_cast<std::size_t>(g3.edge_src[se]);
+    const auto j = static_cast<std::size_t>(g3.edge_dst[se]);
+    return {cart[j][0] + shift[0] - cart[i][0],
+            cart[j][1] + shift[1] - cart[i][1],
+            cart[j][2] + shift[2] - cart[i][2]};
+  };
+  for (std::size_t ang = 0; ang < g3.angle_e1.size(); ++ang) {
+    const index_t e1 = g3.angle_e1[ang];
+    const index_t e2 = g3.angle_e2[ang];
+    const auto i = static_cast<std::size_t>(
+        g3.edge_src[static_cast<std::size_t>(e1)]);
+    const auto j = static_cast<std::size_t>(
+        g3.edge_dst[static_cast<std::size_t>(e1)]);
+    const auto kk = static_cast<std::size_t>(
+        g3.edge_dst[static_cast<std::size_t>(e2)]);
+    const Vec3 u = edge_vec(e1);
+    const Vec3 v = edge_vec(e2);
+    const double ru = norm(u), rv = norm(v);
+    const double cosq = dot(u, v) / (ru * rv);
+    const SpeciesParams& pi = sp[i];
+    const double xu = ru / p_.triple_cutoff, xv = rv / p_.triple_cutoff;
+    const double hu = switch_down(xu), hv = switch_down(xv);
+    const double dhu = switch_down_deriv(xu) / p_.triple_cutoff;
+    const double dhv = switch_down_deriv(xv) / p_.triple_cutoff;
+    const double dc = cosq - pi.c0;
+    const double pref = 0.5;  // ordered pairs double-count
+
+    res.energy += pref * pi.lambda * dc * dc * hu * hv;
+
+    const double dEdcos = pref * 2.0 * pi.lambda * dc * hu * hv;
+    const double dEdru = pref * pi.lambda * dc * dc * dhu * hv;
+    const double dEdrv = pref * pi.lambda * dc * dc * hu * dhv;
+    Vec3 dEdu{}, dEdv{};
+    for (int d = 0; d < 3; ++d) {
+      const double dcos_du = v[d] / (ru * rv) - cosq * u[d] / (ru * ru);
+      const double dcos_dv = u[d] / (ru * rv) - cosq * v[d] / (rv * rv);
+      dEdu[d] = dEdcos * dcos_du + dEdru * u[d] / ru;
+      dEdv[d] = dEdcos * dcos_dv + dEdrv * v[d] / rv;
+    }
+    for (int d = 0; d < 3; ++d) {
+      de[j][d] += dEdu[d];
+      de[kk][d] += dEdv[d];
+      de[i][d] -= dEdu[d] + dEdv[d];
+    }
+    for (int aa = 0; aa < 3; ++aa) {
+      for (int bb = 0; bb < 3; ++bb) {
+        virial[aa][bb] += u[aa] * dEdu[bb] + v[aa] * dEdv[bb];
+      }
+    }
+  }
+
+  for (index_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    for (int d = 0; d < 3; ++d) res.forces[si][d] = -de[si][d];
+    // Smooth coordination- and species-dependent magnetic moment.
+    res.magmom[si] =
+        sp[si].mu * (0.5 + 0.5 * std::tanh(0.6 * (coord[si] - 6.0)));
+  }
+  for (int aa = 0; aa < 3; ++aa)
+    for (int bb = 0; bb < 3; ++bb) res.stress[aa][bb] = virial[aa][bb] / vol;
+  return res;
+}
+
+void Oracle::label(Crystal& c) const {
+  Result r = evaluate(c);
+  c.energy = r.energy;
+  c.forces = std::move(r.forces);
+  c.stress = r.stress;
+  c.magmom = std::move(r.magmom);
+}
+
+}  // namespace fastchg::data

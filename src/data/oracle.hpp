@@ -1,0 +1,59 @@
+// Synthetic DFT oracle (MPtrj substitute; see DESIGN.md Sec. 2).
+//
+// A smooth, species-parameterized classical potential plays the role of the
+// DFT ground truth:
+//   E = sum_i E0(Z_i)
+//     + 1/2 sum_{directed pairs} Morse(r; Z_i, Z_j) * switch(r)
+//     + 1/2 sum_{ordered angle pairs} lambda_i (cos t - c0_i)^2 h(r1) h(r2)
+// Forces and stress are the oracle's *analytic* derivatives, so the labels
+// are exactly energy-consistent -- which the derivative-based reference
+// CHGNet requires -- and the virial stress matches the strain derivative
+// (verified by a property test).  Magnetic moments are a smooth function of
+// species and local coordination, giving the magmom head a learnable target.
+#pragma once
+
+#include "data/crystal.hpp"
+
+namespace fastchg::data {
+
+struct OracleParams {
+  double pair_cutoff = 6.0;    ///< A; matches the atom-graph cutoff
+  double triple_cutoff = 3.0;  ///< A; matches the bond-graph cutoff
+};
+
+/// Per-species smooth parameter set, derived deterministically from Z.
+struct SpeciesParams {
+  double e0;      ///< isolated-atom reference energy (eV)
+  double d;       ///< Morse well depth (eV)
+  double r0;      ///< Morse equilibrium distance (A)
+  double lambda;  ///< three-body strength (eV)
+  double c0;      ///< preferred cosine
+  double mu;      ///< magnetic moment scale (mu_B)
+  double w;       ///< coordination weight
+};
+
+SpeciesParams species_params(index_t z);
+
+class Oracle {
+ public:
+  explicit Oracle(OracleParams p = {}) : p_(p) {}
+
+  struct Result {
+    double energy = 0.0;
+    std::vector<Vec3> forces;
+    Mat3 stress{};  ///< eV/A^3, virial convention sigma = (1/V) dE/deps
+    std::vector<double> magmom;
+  };
+
+  Result evaluate(const Crystal& c) const;
+  double energy_only(const Crystal& c) const { return evaluate(c).energy; }
+  /// Evaluate and write the labels into the crystal.
+  void label(Crystal& c) const;
+
+  const OracleParams& params() const { return p_; }
+
+ private:
+  OracleParams p_;
+};
+
+}  // namespace fastchg::data

@@ -1,0 +1,49 @@
+#include "data/prefetch.hpp"
+
+namespace fastchg::data {
+
+PrefetchLoader::PrefetchLoader(const data::Dataset& ds,
+                               std::vector<std::vector<index_t>> plan,
+                               std::size_t depth)
+    : ds_(ds), plan_(std::move(plan)), depth_(std::max<std::size_t>(depth, 1)) {
+  thread_ = std::thread([this] { worker(); });
+}
+
+PrefetchLoader::~PrefetchLoader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PrefetchLoader::worker() {
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    // Collate outside the lock -- this is the overlapped work.
+    data::Batch b = data::collate_indices(ds_, plan_[i]);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_.size() < depth_ || stop_; });
+    if (stop_) return;
+    ready_.push_back(std::move(b));
+    ++produced_;
+    cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  produced_ = plan_.size();
+  cv_.notify_all();
+}
+
+std::optional<data::Batch> PrefetchLoader::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return !ready_.empty() || (produced_ == plan_.size() && ready_.empty());
+  });
+  if (ready_.empty()) return std::nullopt;
+  data::Batch b = std::move(ready_.front());
+  ready_.pop_front();
+  cv_.notify_all();
+  return b;
+}
+
+}  // namespace fastchg::data

@@ -1,0 +1,118 @@
+#include "data/verlet.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "data/neighbor.hpp"
+
+namespace fastchg::data {
+
+VerletList::VerletList(GraphConfig cfg, double skin)
+    : cfg_(cfg), skin_(skin) {
+  FASTCHG_CHECK(skin > 0.0, "VerletList: skin " << skin);
+}
+
+bool VerletList::needs_rebuild(const Crystal& c) const {
+  if (!has_ref_) return true;
+  if (c.frac.size() != ref_frac_.size()) return true;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (c.lattice[i][j] != ref_lattice_[i][j]) return true;  // cell moved
+    }
+  }
+  const double limit2 = 0.25 * skin_ * skin_;  // (skin/2)^2
+  for (std::size_t i = 0; i < c.frac.size(); ++i) {
+    Vec3 df;
+    for (int d = 0; d < 3; ++d) {
+      double delta = wrap_frac(c.frac[i])[d] - ref_frac_[i][d];
+      delta -= std::round(delta);  // minimum-image displacement
+      df[d] = delta;
+    }
+    const Vec3 dr = mat_vec(c.lattice, df);
+    if (dot(dr, dr) > limit2) return true;
+  }
+  return false;
+}
+
+void VerletList::rebuild(const Crystal& c) {
+  candidates_ = build_neighbor_list_auto(c, cfg_.atom_cutoff + skin_);
+  ref_lattice_ = c.lattice;
+  ref_frac_.resize(c.frac.size());
+  for (std::size_t i = 0; i < c.frac.size(); ++i) {
+    ref_frac_[i] = wrap_frac(c.frac[i]);
+  }
+  has_ref_ = true;
+  ++rebuilds_;
+}
+
+GraphData VerletList::graph(const Crystal& c) {
+  ++queries_;
+  if (needs_rebuild(c)) rebuild(c);
+
+  const std::size_t n = c.frac.size();
+  // Per-atom drift since the reference, unwrapped (|drift| <= skin/2), and
+  // the integer cell offset between the atom's current wrapped image and
+  // its unwrapped position -- needed to re-base the cached edge images so
+  // the returned graph matches build_graph on the *current* wrapped coords.
+  std::vector<Vec3> unwrapped(n);   // cartesian, in the reference frame
+  std::vector<std::array<int, 3>> off(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 now = wrap_frac(c.frac[i]);
+    Vec3 f;
+    for (int d = 0; d < 3; ++d) {
+      double delta = now[d] - ref_frac_[i][d];
+      delta -= std::round(delta);
+      f[d] = ref_frac_[i][d] + delta;            // unwrapped fractional
+      off[i][d] = static_cast<int>(std::lround(now[d] - f[d]));
+    }
+    unwrapped[i] = mat_vec(c.lattice, f);
+  }
+
+  GraphData g;
+  g.num_atoms = c.natoms();
+  g.species = c.species;
+  for (index_t e = 0; e < candidates_.size(); ++e) {
+    const auto i = static_cast<std::size_t>(candidates_.src[e]);
+    const auto j = static_cast<std::size_t>(candidates_.dst[e]);
+    const Vec3 shift = mat_vec(c.lattice, candidates_.image[e]);
+    const Vec3 d{unwrapped[j][0] + shift[0] - unwrapped[i][0],
+                 unwrapped[j][1] + shift[1] - unwrapped[i][1],
+                 unwrapped[j][2] + shift[2] - unwrapped[i][2]};
+    const double dist = norm(d);
+    if (dist > cfg_.atom_cutoff || dist < 1e-6) continue;
+    g.edge_src.push_back(candidates_.src[e]);
+    g.edge_dst.push_back(candidates_.dst[e]);
+    // Re-base the image onto the wrapped coordinates collate() will use:
+    // r_j(wrapped) = r_j(unwrapped) + off_j @ L, so the image shrinks by
+    // (off_j - off_i).
+    Vec3 img = candidates_.image[e];
+    for (int dd = 0; dd < 3; ++dd) {
+      img[dd] += static_cast<double>(off[i][dd] - off[j][dd]);
+    }
+    g.edge_image.push_back(img);
+    g.edge_dist.push_back(dist);
+  }
+
+  // Bond graph over short edges, exactly as build_graph does.
+  std::vector<std::vector<index_t>> short_by_src(n);
+  for (index_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_dist[static_cast<std::size_t>(e)] <= cfg_.bond_cutoff) {
+      g.short_edges.push_back(e);
+      short_by_src[static_cast<std::size_t>(
+                       g.edge_src[static_cast<std::size_t>(e)])]
+          .push_back(e);
+    }
+  }
+  for (const auto& edges : short_by_src) {
+    for (index_t e1 : edges) {
+      for (index_t e2 : edges) {
+        if (e1 == e2) continue;
+        g.angle_e1.push_back(e1);
+        g.angle_e2.push_back(e2);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace fastchg::data

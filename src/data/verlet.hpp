@@ -1,0 +1,48 @@
+// Verlet (skin-buffered) neighbour caching for MD.
+//
+// Rebuilding the neighbour list from scratch every MD step is the dominant
+// per-step cost for small systems (the Table-II regime).  The classic fix:
+// build the candidate list once with cutoff + skin, then on subsequent
+// steps only *filter* the cached candidates by their current distances.  A
+// full rebuild is triggered when any atom has moved more than skin/2 since
+// the reference snapshot -- the standard sufficient condition that no pair
+// can have entered the true cutoff unseen.
+//
+// Images are re-based on each query so the returned graph is exactly what
+// build_graph would produce for the current wrapped coordinates (verified
+// by equivalence tests over MD-like random walks).
+#pragma once
+
+#include "data/graph.hpp"
+
+namespace fastchg::data {
+
+class VerletList {
+ public:
+  /// skin > 0 (Angstrom).  Cutoffs as in GraphConfig.
+  VerletList(GraphConfig cfg, double skin = 1.0);
+
+  /// Graph of `c` under the configured cutoffs; candidates are reused
+  /// across calls while the skin criterion holds.
+  GraphData graph(const Crystal& c);
+
+  index_t queries() const { return queries_; }
+  index_t rebuilds() const { return rebuilds_; }
+
+ private:
+  bool needs_rebuild(const Crystal& c) const;
+  void rebuild(const Crystal& c);
+
+  GraphConfig cfg_;
+  double skin_;
+  index_t queries_ = 0;
+  index_t rebuilds_ = 0;
+
+  // Reference snapshot (at last rebuild).
+  bool has_ref_ = false;
+  Mat3 ref_lattice_{};
+  std::vector<Vec3> ref_frac_;      ///< wrapped
+  NeighborList candidates_;         ///< within cutoff + skin, ref images
+};
+
+}  // namespace fastchg::data

@@ -1,0 +1,67 @@
+// Umbrella header: the full public API of the FastCHGNet reproduction.
+//
+//   #include "fastchgnet.hpp"
+//
+// pulls in everything a downstream application needs; individual headers
+// remain available for faster incremental builds.
+#pragma once
+
+// Core substrate
+#include "core/error.hpp"        // fastchg::Error, FASTCHG_CHECK
+#include "core/parallel_for.hpp" // kernel threading
+#include "core/rng.hpp"          // deterministic randomness
+#include "core/tensor.hpp"       // dense float32 tensors
+#include "perf/counters.hpp"     // kernel/memory accounting
+#include "perf/timer.hpp"
+
+// Autograd + NN
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "nn/embedding.hpp"
+#include "nn/gated_mlp.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/serialize.hpp"
+
+// Data pipeline
+#include "data/batch.hpp"
+#include "data/crystal.hpp"
+#include "data/dataset.hpp"
+#include "data/dataset_io.hpp"
+#include "data/generator.hpp"
+#include "data/graph.hpp"
+#include "data/neighbor.hpp"
+#include "data/oracle.hpp"
+#include "data/prefetch.hpp"
+
+// Model
+#include "basis/envelope.hpp"
+#include "basis/fourier.hpp"
+#include "basis/rbf.hpp"
+#include "chgnet/charge.hpp"
+#include "chgnet/config.hpp"
+#include "chgnet/model.hpp"
+#include "fastchgnet/heads.hpp"
+#include "fastchgnet/quantize.hpp"
+
+// Training
+#include "train/adam.hpp"
+#include "train/atom_ref.hpp"
+#include "train/loss.hpp"
+#include "train/metrics.hpp"
+#include "train/scheduler.hpp"
+#include "train/trainer.hpp"
+
+// Multi-device
+#include "parallel/bucketing.hpp"
+#include "parallel/comm_model.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/sampler.hpp"
+#include "parallel/scaling.hpp"
+
+// Molecular dynamics
+#include "md/md.hpp"
+#include "md/observables.hpp"
+#include "md/relax.hpp"

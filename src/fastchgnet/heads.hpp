@@ -1,0 +1,52 @@
+// FastCHGNet's decoupled readout heads (paper Sec. III-B, Fig. 2c/d).
+//
+// ForceHead (Eq. 7): per-bond scalar magnitude n_ij = MLP(e_ij) applied to
+// the bond direction x_ij, aggregated on the central atom:
+//     F_i = sum_j n_ij * x_ij / |x_ij|
+// Since e_ij is rotation-invariant and x_ij rotates with the structure, the
+// prediction is rotation-equivariant by construction (Eq. 8); a property
+// test verifies this numerically.
+//
+// StressHead (Eq. 9): a per-atom [3x3] coefficient from MLP(v_i), contracted
+// with the structure's normalized lattice outer-product matrix
+// sum_{ij} l_i/|l_i| (x) l_j/|l_j|, scaled by a learnable scalar.
+#pragma once
+
+#include <vector>
+
+#include "chgnet/config.hpp"
+#include "data/batch.hpp"
+#include "nn/linear.hpp"
+
+namespace fastchg::model {
+
+using ag::Var;
+
+class ForceHead : public nn::Module {
+ public:
+  ForceHead(const ModelConfig& cfg, Rng& rng);
+
+  /// bond features [E,C], bond vectors rij [E,3], lengths [E,1] -> [A,3].
+  Var forward(const Var& bond_feat, const Var& rij, const Var& rlen,
+              const std::vector<index_t>& edge_src, index_t num_atoms) const;
+
+ private:
+  nn::Linear fc1_, fc2_;
+};
+
+class StressHead : public nn::Module {
+ public:
+  StressHead(const ModelConfig& cfg, Rng& rng);
+
+  /// atom features [A,C] -> stress [S,9] (row-major 3x3 per structure).
+  Var forward(const Var& atom_feat, const data::Batch& batch) const;
+
+  /// The normalized lattice outer-product matrix of Eq. 9, flattened [1,9].
+  static Tensor lattice_outer(const Tensor& lattice);
+
+ private:
+  nn::Linear fc1_, fc2_;
+  Var scale_;
+};
+
+}  // namespace fastchg::model

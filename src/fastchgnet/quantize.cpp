@@ -1,0 +1,50 @@
+#include "fastchgnet/quantize.hpp"
+
+#include <cmath>
+
+namespace fastchg::model {
+
+std::vector<std::int8_t> quantize_tensor(Tensor& t, float& scale_out) {
+  float max_abs = 0.0f;
+  float* p = t.data();
+  const index_t n = t.numel();
+  for (index_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(p[i]));
+  }
+  scale_out = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  std::vector<std::int8_t> codes(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const float q = std::nearbyint(p[i] / scale_out);
+    const float clamped = std::min(127.0f, std::max(-127.0f, q));
+    codes[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(clamped);
+    p[i] = clamped * scale_out;  // dequantized value used by inference
+  }
+  return codes;
+}
+
+QuantizationReport quantize_for_inference(nn::Module& m) {
+  QuantizationReport rep;
+  for (auto& [name, p] : m.named_parameters()) {
+    Tensor& t = p.node()->value;
+    Tensor original = t.clone();
+    float scale = 0.0f;
+    (void)quantize_tensor(t, scale);
+    const float* a = original.data();
+    const float* b = t.data();
+    for (index_t i = 0; i < t.numel(); ++i) {
+      const double err = std::fabs(static_cast<double>(a[i]) - b[i]);
+      rep.max_abs_error = std::max(rep.max_abs_error, err);
+      rep.mean_abs_error += err;
+    }
+    rep.tensors += 1;
+    rep.elements += t.numel();
+    rep.fp32_bytes += static_cast<double>(t.numel()) * 4.0;
+    rep.int8_bytes += static_cast<double>(t.numel()) + 4.0;  // codes + scale
+  }
+  if (rep.elements > 0) {
+    rep.mean_abs_error /= static_cast<double>(rep.elements);
+  }
+  return rep;
+}
+
+}  // namespace fastchg::model

@@ -1,0 +1,153 @@
+#include "md/md.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/batch.hpp"
+#include "perf/timer.hpp"
+
+namespace fastchg::md {
+
+double atomic_mass(index_t z) {
+  // ~2Z is a serviceable approximation across the periodic table for a
+  // synthetic-species simulator (H is the only strong outlier).
+  return z == 1 ? 1.008 : 2.0 * static_cast<double>(z);
+}
+
+MDSimulator::MDSimulator(const model::CHGNet& net, data::Crystal crystal,
+                         MDConfig cfg)
+    : net_(net),
+      crystal_(std::move(crystal)),
+      cfg_(cfg),
+      thermo_rng_(cfg.seed + 0x7e4) {
+  if (cfg_.verlet_skin > 0.0) {
+    verlet_.emplace(cfg_.graph, cfg_.verlet_skin);
+  }
+  const index_t n = crystal_.natoms();
+  vel_.assign(static_cast<std::size_t>(n), data::Vec3{});
+  force_.assign(static_cast<std::size_t>(n), data::Vec3{});
+  mass_.resize(static_cast<std::size_t>(n));
+  Rng rng(cfg_.seed);
+  for (index_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    mass_[si] = atomic_mass(crystal_.species[si]);
+    const double sigma = std::sqrt(kBoltzmann * cfg_.init_temperature_k /
+                                   (mass_[si] * kAmuA2Fs2ToEv));
+    for (int d = 0; d < 3; ++d) vel_[si][d] = rng.normal(0.0, sigma);
+  }
+  // Remove centre-of-mass drift.
+  data::Vec3 p{};
+  double mtot = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    for (int d = 0; d < 3; ++d) p[d] += mass_[si] * vel_[si][d];
+    mtot += mass_[si];
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      vel_[static_cast<std::size_t>(i)][d] -= p[d] / mtot;
+    }
+  }
+  compute_forces();
+}
+
+void MDSimulator::compute_forces() {
+  data::Batch b = [&] {
+    if (verlet_) {
+      data::Sample s{crystal_, verlet_->graph(crystal_)};
+      return data::collate({&s});
+    }
+    data::Dataset ds = data::Dataset::from_crystals({crystal_}, cfg_.graph,
+                                                    {}, /*relabel=*/false);
+    return data::collate_indices(ds, {0});
+  }();
+  model::ModelOutput out = net_.forward(b, model::ForwardMode::kEval);
+  const float* f = out.forces.value().data();
+  for (index_t i = 0; i < crystal_.natoms(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      force_[static_cast<std::size_t>(i)][d] =
+          static_cast<double>(f[i * 3 + d]);
+    }
+  }
+  potential_ = static_cast<double>(out.energy_per_atom.value().data()[0]) *
+               static_cast<double>(crystal_.natoms());
+}
+
+double MDSimulator::step(index_t n) {
+  perf::Timer timer;
+  const data::Mat3 lat_inv = data::inv3(crystal_.lattice);
+  for (index_t it = 0; it < n; ++it) {
+    const double dt = cfg_.dt_fs;
+    const index_t na = crystal_.natoms();
+    // Half-kick + drift.
+    std::vector<data::Vec3> accel(static_cast<std::size_t>(na));
+    for (index_t i = 0; i < na; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      data::Vec3 dr{};
+      for (int d = 0; d < 3; ++d) {
+        accel[si][d] = kAccel * force_[si][d] / mass_[si];
+        dr[d] = vel_[si][d] * dt + 0.5 * accel[si][d] * dt * dt;
+      }
+      const data::Vec3 df = data::mat_vec(lat_inv, dr);
+      for (int d = 0; d < 3; ++d) {
+        double f = crystal_.frac[si][d] + df[d];
+        f -= std::floor(f);  // wrap into the cell
+        crystal_.frac[si][d] = f;
+      }
+    }
+    compute_forces();
+    // Second half-kick with the new forces.
+    for (index_t i = 0; i < na; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      for (int d = 0; d < 3; ++d) {
+        const double a_new = kAccel * force_[si][d] / mass_[si];
+        vel_[si][d] += 0.5 * (accel[si][d] + a_new) * dt;
+      }
+    }
+    apply_thermostat();
+    ++steps_;
+  }
+  return timer.seconds() / static_cast<double>(n);
+}
+
+void MDSimulator::apply_thermostat() {
+  if (cfg_.ensemble == Ensemble::kNVE) return;
+  const double t0 = cfg_.target_temperature_k;
+  if (cfg_.ensemble == Ensemble::kNVTBerendsen) {
+    const double t = temperature();
+    if (t <= 1e-12) return;
+    double lam2 = 1.0 + cfg_.dt_fs / cfg_.tau_fs * (t0 / t - 1.0);
+    lam2 = std::min(1.5625, std::max(0.64, lam2));  // clamp lambda to [0.8,1.25]
+    const double lam = std::sqrt(lam2);
+    for (auto& v : vel_) {
+      for (int d = 0; d < 3; ++d) v[d] *= lam;
+    }
+    return;
+  }
+  // Langevin (Ornstein-Uhlenbeck velocity update): exact for the chosen
+  // friction, samples the canonical distribution at t0.
+  const double c1 = std::exp(-cfg_.friction_fs * cfg_.dt_fs);
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    const double sigma = std::sqrt((1.0 - c1 * c1) * kBoltzmann * t0 /
+                                   (mass_[i] * kAmuA2Fs2ToEv));
+    for (int d = 0; d < 3; ++d) {
+      vel_[i][d] = c1 * vel_[i][d] + sigma * thermo_rng_.normal();
+    }
+  }
+}
+
+double MDSimulator::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    ke += 0.5 * mass_[i] * data::dot(vel_[i], vel_[i]) * kAmuA2Fs2ToEv;
+  }
+  return ke;
+}
+
+double MDSimulator::temperature() const {
+  const double dof = 3.0 * static_cast<double>(crystal_.natoms());
+  if (dof == 0.0) return 0.0;
+  return 2.0 * kinetic_energy() / (dof * kBoltzmann);
+}
+
+}  // namespace fastchg::md

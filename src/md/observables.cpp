@@ -1,0 +1,94 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "data/neighbor.hpp"
+
+namespace fastchg::md {
+
+RdfAccumulator::RdfAccumulator(double r_max, index_t bins)
+    : r_max_(r_max), bins_(bins) {
+  FASTCHG_CHECK(r_max > 0 && bins > 0, "RdfAccumulator: r_max/bins");
+  centers_.resize(static_cast<std::size_t>(bins));
+  counts_.assign(static_cast<std::size_t>(bins), 0.0);
+  const double w = r_max / static_cast<double>(bins);
+  for (index_t b = 0; b < bins; ++b) {
+    centers_[static_cast<std::size_t>(b)] =
+        (static_cast<double>(b) + 0.5) * w;
+  }
+}
+
+void RdfAccumulator::add_snapshot(const data::Crystal& c) {
+  data::NeighborList nl = data::build_neighbor_list_auto(c, r_max_);
+  const double w = r_max_ / static_cast<double>(bins_);
+  for (index_t e = 0; e < nl.size(); ++e) {
+    auto b = static_cast<std::size_t>(nl.dist[e] / w);
+    if (b >= counts_.size()) continue;
+    counts_[b] += 1.0;
+  }
+  density_sum_ += static_cast<double>(c.natoms()) / c.volume();
+  atom_sum_ += c.natoms();
+  ++snapshots_;
+}
+
+std::vector<double> RdfAccumulator::g() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (snapshots_ == 0) return out;
+  const double w = r_max_ / static_cast<double>(bins_);
+  const double mean_density =
+      density_sum_ / static_cast<double>(snapshots_);
+  const double mean_atoms =
+      static_cast<double>(atom_sum_) / static_cast<double>(snapshots_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double r = centers_[b];
+    const double shell = 4.0 * M_PI * r * r * w;
+    const double ideal =
+        mean_atoms * mean_density * shell * static_cast<double>(snapshots_);
+    out[b] = ideal > 0 ? counts_[b] / ideal : 0.0;
+  }
+  return out;
+}
+
+MsdTracker::MsdTracker(const data::Crystal& initial)
+    : lattice_(initial.lattice),
+      prev_frac_(initial.frac),
+      displacement_(initial.frac.size(), data::Vec3{}) {}
+
+void MsdTracker::update(const data::Crystal& current) {
+  FASTCHG_CHECK(current.frac.size() == prev_frac_.size(),
+                "MsdTracker: atom count changed");
+  for (std::size_t i = 0; i < prev_frac_.size(); ++i) {
+    data::Vec3 df;
+    for (int d = 0; d < 3; ++d) {
+      double delta = current.frac[i][d] - prev_frac_[i][d];
+      delta -= std::round(delta);  // minimum image per step
+      df[d] = delta;
+    }
+    const data::Vec3 dr = data::mat_vec(lattice_, df);
+    for (int d = 0; d < 3; ++d) displacement_[i][d] += dr[d];
+  }
+  prev_frac_ = current.frac;
+  ++updates_;
+}
+
+double MsdTracker::msd() const {
+  if (displacement_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& d : displacement_) acc += data::dot(d, d);
+  return acc / static_cast<double>(displacement_.size());
+}
+
+double MsdTracker::msd(const std::vector<index_t>& atoms) const {
+  if (atoms.empty()) return 0.0;
+  double acc = 0.0;
+  for (index_t i : atoms) {
+    FASTCHG_CHECK(i >= 0 && i < static_cast<index_t>(displacement_.size()),
+                  "msd: atom index " << i);
+    acc += data::dot(displacement_[static_cast<std::size_t>(i)],
+                     displacement_[static_cast<std::size_t>(i)]);
+  }
+  return acc / static_cast<double>(atoms.size());
+}
+
+}  // namespace fastchg::md

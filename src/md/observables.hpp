@@ -1,0 +1,55 @@
+// MD observables: radial distribution function g(r) and mean-squared
+// displacement (diffusion), accumulated over trajectory snapshots.
+#pragma once
+
+#include "data/crystal.hpp"
+
+namespace fastchg::md {
+
+/// Radial distribution function accumulated over snapshots:
+///   g(r) = <histogram of pair distances> / (ideal-gas shell count)
+class RdfAccumulator {
+ public:
+  RdfAccumulator(double r_max, index_t bins);
+
+  void add_snapshot(const data::Crystal& c);
+
+  /// Normalized g(r); empty until at least one snapshot was added.
+  std::vector<double> g() const;
+  const std::vector<double>& r_centers() const { return centers_; }
+  index_t snapshots() const { return snapshots_; }
+
+ private:
+  double r_max_;
+  index_t bins_;
+  std::vector<double> centers_;
+  std::vector<double> counts_;
+  double density_sum_ = 0.0;  ///< accumulated N/V for normalization
+  index_t atom_sum_ = 0;
+  index_t snapshots_ = 0;
+};
+
+/// Mean-squared displacement with periodic unwrapping: successive snapshots
+/// are connected by minimum-image displacements so atoms that cross the
+/// cell boundary keep accumulating distance.
+class MsdTracker {
+ public:
+  explicit MsdTracker(const data::Crystal& initial);
+
+  void update(const data::Crystal& current);
+
+  /// Mean over atoms of |unwrapped displacement|^2 (A^2).
+  double msd() const;
+  /// MSD restricted to the given atom indices (e.g. only the Li ions when
+  /// measuring Li-ion diffusion, the paper's motivating application).
+  double msd(const std::vector<index_t>& atoms) const;
+  index_t updates() const { return updates_; }
+
+ private:
+  data::Mat3 lattice_;
+  std::vector<data::Vec3> prev_frac_;
+  std::vector<data::Vec3> displacement_;  ///< cartesian, unwrapped
+  index_t updates_ = 0;
+};
+
+}  // namespace fastchg::md

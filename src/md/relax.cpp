@@ -1,0 +1,85 @@
+#include "md/relax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batch.hpp"
+
+namespace fastchg::md {
+
+namespace {
+
+struct ForceEval {
+  double energy;
+  std::vector<data::Vec3> forces;
+  double fmax;
+};
+
+ForceEval eval_forces(const model::CHGNet& net, const data::Crystal& c,
+                      const data::GraphConfig& gc) {
+  data::Dataset ds = data::Dataset::from_crystals({c}, gc, {}, false);
+  data::Batch b = data::collate_indices(ds, {0});
+  model::ModelOutput out = net.forward(b, model::ForwardMode::kEval);
+  ForceEval fe;
+  fe.energy = static_cast<double>(out.energy_per_atom.value().data()[0]) *
+              static_cast<double>(c.natoms());
+  fe.forces.resize(static_cast<std::size_t>(c.natoms()));
+  fe.fmax = 0.0;
+  const float* f = out.forces.value().data();
+  for (index_t i = 0; i < c.natoms(); ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    for (int d = 0; d < 3; ++d) {
+      fe.forces[si][d] = static_cast<double>(f[i * 3 + d]);
+      fe.fmax = std::max(fe.fmax, std::fabs(fe.forces[si][d]));
+    }
+  }
+  return fe;
+}
+
+}  // namespace
+
+RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
+                  const RelaxConfig& cfg) {
+  RelaxResult res;
+  const data::Mat3 lat_inv = data::inv3(crystal.lattice);
+  ForceEval fe = eval_forces(net, crystal, cfg.graph);
+  res.initial_energy = fe.energy;
+  res.initial_fmax = fe.fmax;
+  double step = cfg.step;
+  for (index_t it = 0; it < cfg.max_steps; ++it) {
+    if (fe.fmax <= cfg.fmax_tol) {
+      res.converged = true;
+      break;
+    }
+    data::Crystal trial = crystal;
+    for (index_t i = 0; i < crystal.natoms(); ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      data::Vec3 dr{};
+      for (int d = 0; d < 3; ++d) {
+        dr[d] = std::clamp(step * fe.forces[si][d], -cfg.max_disp,
+                           cfg.max_disp);
+      }
+      const data::Vec3 df = data::mat_vec(lat_inv, dr);
+      for (int d = 0; d < 3; ++d) {
+        double f = trial.frac[si][d] + df[d];
+        f -= std::floor(f);
+        trial.frac[si][d] = f;
+      }
+    }
+    ForceEval fe_trial = eval_forces(net, trial, cfg.graph);
+    if (fe_trial.energy <= fe.energy) {
+      crystal = std::move(trial);
+      fe = std::move(fe_trial);
+      step = std::min(step * 1.2, 10 * cfg.step);  // accelerate downhill
+    } else {
+      step *= 0.5;  // backtrack
+      if (step < 1e-5) break;
+    }
+    ++res.steps;
+  }
+  res.final_fmax = fe.fmax;
+  res.final_energy = fe.energy;
+  return res;
+}
+
+}  // namespace fastchg::md

@@ -1,0 +1,31 @@
+// Structure relaxation: damped steepest descent on model forces with an
+// adaptive step and a displacement cap (a light-weight stand-in for FIRE).
+#pragma once
+
+#include "chgnet/model.hpp"
+#include "data/dataset.hpp"
+
+namespace fastchg::md {
+
+struct RelaxConfig {
+  double fmax_tol = 0.1;     ///< eV/A convergence threshold on max |F|
+  index_t max_steps = 100;
+  double step = 0.02;        ///< initial step, A per unit force
+  double max_disp = 0.1;     ///< per-step displacement cap, A
+  data::GraphConfig graph;
+};
+
+struct RelaxResult {
+  bool converged = false;
+  index_t steps = 0;
+  double initial_fmax = 0.0;  ///< eV/A
+  double final_fmax = 0.0;    ///< eV/A
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+};
+
+/// Relax `crystal` in place under the model's potential-energy surface.
+RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
+                  const RelaxConfig& cfg = {});
+
+}  // namespace fastchg::md

@@ -1,0 +1,18 @@
+#include "nn/embedding.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/init.hpp"
+
+namespace fastchg::nn {
+
+Embedding::Embedding(index_t num_embeddings, index_t dim, Rng& rng)
+    : num_(num_embeddings), dim_(dim) {
+  table_ = add_parameter(
+      "table", init::xavier_uniform({num_embeddings, dim}, dim, dim, rng));
+}
+
+Var Embedding::forward(const std::vector<index_t>& ids) const {
+  return ag::ops::index_select0(table_, ids);
+}
+
+}  // namespace fastchg::nn

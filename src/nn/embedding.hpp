@@ -1,0 +1,25 @@
+// Trainable lookup table (atomic-number -> node feature in CHGNet).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fastchg::nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(index_t num_embeddings, index_t dim, Rng& rng);
+
+  /// out[k] = table[ids[k]]; differentiable w.r.t. the table.
+  Var forward(const std::vector<index_t>& ids) const;
+  index_t dim() const { return dim_; }
+  index_t num_embeddings() const { return num_; }
+
+ private:
+  index_t num_, dim_;
+  Var table_;
+};
+
+}  // namespace fastchg::nn

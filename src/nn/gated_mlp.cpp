@@ -1,0 +1,147 @@
+#include "nn/gated_mlp.hpp"
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "perf/counters.hpp"
+
+namespace fastchg::nn {
+
+using namespace ag::ops;
+using ag::make_op_node;
+
+namespace {
+constexpr float kLnEps = 1e-5f;
+}
+
+GatedMLP::GatedMLP(index_t in, index_t out, Rng& rng, bool fused)
+    : in_(in),
+      out_(out),
+      fused_(fused),
+      core_fc_(in, out, rng),
+      gate_fc_(in, out, rng),
+      core_ln_(out),
+      gate_ln_(out) {
+  add_child("core_fc", &core_fc_);
+  add_child("gate_fc", &gate_fc_);
+  add_child("core_ln", &core_ln_);
+  add_child("gate_ln", &gate_ln_);
+}
+
+Var GatedMLP::forward(const Var& x) const {
+  return fused_ ? forward_fused(x) : forward_reference(x);
+}
+
+Var GatedMLP::forward_reference(const Var& x) const {
+  Var core = silu(core_ln_.forward(core_fc_.forward(x)));
+  Var gate = sigmoid(gate_ln_.forward(gate_fc_.forward(x)));
+  return mul(gate, core);
+}
+
+Var GatedMLP::forward_fused(const Var& x) const {
+  // Weight concatenation (Fig. 3a): one [in, 2C] GEMM instead of two.
+  Var w = cat({core_fc_.weight(), gate_fc_.weight()}, 1);
+  Var b = cat({core_fc_.bias(), gate_fc_.bias()}, 0);
+  Var packed = add(matmul(x, w), b);
+  return gated_act_fused(packed, core_ln_.gamma(), core_ln_.beta(),
+                         gate_ln_.gamma(), gate_ln_.beta(), kLnEps);
+}
+
+Var gated_act_fused(const Var& packed, const Var& gamma_c, const Var& beta_c,
+                    const Var& gamma_g, const Var& beta_g, float eps) {
+  perf::count_kernel("fused_gated_act");
+  const Tensor& pv = packed.value();
+  FASTCHG_CHECK(pv.dim() == 2 && pv.size(1) % 2 == 0,
+                "gated_act_fused: packed shape " << shape_str(pv.shape()));
+  const index_t rows = pv.size(0);
+  const index_t c = pv.size(1) / 2;
+  Tensor out = Tensor::empty({rows, c});
+  const float* pp = pv.data();
+  const float* gc = gamma_c.value().data();
+  const float* bc = beta_c.value().data();
+  const float* gg = gamma_g.value().data();
+  const float* bg = beta_g.value().data();
+  float* po = out.data();
+  auto ln_row = [eps](const float* row, index_t n, float& mean, float& rstd) {
+    double m = 0.0;
+    for (index_t i = 0; i < n; ++i) m += row[i];
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double d = row[i] - m;
+      v += d * d;
+    }
+    v /= static_cast<double>(n);
+    mean = static_cast<float>(m);
+    rstd = 1.0f / std::sqrt(static_cast<float>(v) + eps);
+  };
+  for (index_t r = 0; r < rows; ++r) {
+    const float* core = pp + r * 2 * c;
+    const float* gate = core + c;
+    float mc, rc, mg, rg;
+    ln_row(core, c, mc, rc);
+    ln_row(gate, c, mg, rg);
+    float* orow = po + r * c;
+    for (index_t i = 0; i < c; ++i) {
+      const float cn = (core[i] - mc) * rc * gc[i] + bc[i];
+      const float gn = (gate[i] - mg) * rg * gg[i] + bg[i];
+      const float sc = 1.0f / (1.0f + std::exp(-cn));  // shared sigmoid
+      const float sg = 1.0f / (1.0f + std::exp(-gn));
+      orow[i] = sg * (cn * sc);  // sigmoid(gate) * silu(core)
+    }
+  }
+  return make_op_node(
+      "fused_gated_act", std::move(out),
+      {packed, gamma_c, beta_c, gamma_g, beta_g},
+      [packed, gamma_c, beta_c, gamma_g, beta_g,
+       eps](const Var& g) -> std::vector<Var> {
+        const index_t cc = packed.size(1) / 2;
+        // LN forward pieces computed once per half and shared between the
+        // activation-grad chain and the LN backward formula (keeps the
+        // op-composed backward cheap while staying double-differentiable).
+        struct LnPieces {
+          Var rstd, xhat, out;
+        };
+        auto ln = [eps](const Var& xpart, const Var& gamma,
+                        const Var& beta) -> LnPieces {
+          Var mu = mean_dim(xpart, 1, true);
+          Var xc = sub(xpart, mu);
+          Var var = mean_dim(square(xc), 1, true);
+          Var rstd = reciprocal(sqrt_op(add_scalar(var, eps)));
+          Var xhat = mul(xc, rstd);
+          return {rstd, xhat, add(mul(xhat, gamma), beta)};
+        };
+        auto ln_backward = [](const LnPieces& p, const Var& gamma,
+                              const Var& d_out) -> std::vector<Var> {
+          Var gxhat = mul(d_out, gamma);
+          Var m1 = mean_dim(gxhat, 1, true);
+          Var m2 = mean_dim(mul(gxhat, p.xhat), 1, true);
+          Var gx = mul(p.rstd, sub(sub(gxhat, m1), mul(p.xhat, m2)));
+          Var ggamma = reshape(sum_dim(mul(d_out, p.xhat), 0, true),
+                               gamma.shape());
+          Var gbeta = reshape(sum_dim(d_out, 0, true), gamma.shape());
+          return {gx, ggamma, gbeta};
+        };
+        Var core = narrow(packed, 1, 0, cc);
+        Var gate = narrow(packed, 1, cc, cc);
+        LnPieces pc = ln(core, gamma_c, beta_c);
+        LnPieces pg = ln(gate, gamma_g, beta_g);
+        Var cn = pc.out;
+        Var gn = pg.out;
+        Var s = sigmoid(cn);
+        Var a = sigmoid(gn);
+        Var b = mul(cn, s);  // silu(cn)
+        Var g_a = mul(g, b);
+        Var g_b = mul(g, a);
+        // d silu / d cn = s + cn*s*(1-s);  d sigmoid / d gn = a*(1-a)
+        Var d_cn = mul(g_b, add(s, mul(mul(cn, s), add_scalar(neg(s), 1.0f))));
+        Var d_gn = mul(g_a, mul(a, add_scalar(neg(a), 1.0f)));
+        auto core_grads = ln_backward(pc, gamma_c, d_cn);
+        auto gate_grads = ln_backward(pg, gamma_g, d_gn);
+        Var gpacked = cat({core_grads[0], gate_grads[0]}, 1);
+        return {gpacked, core_grads[1], core_grads[2], gate_grads[1],
+                gate_grads[2]};
+      });
+}
+
+}  // namespace fastchg::nn

@@ -1,0 +1,42 @@
+// GatedMLP: phi(x) = sigmoid(LN(Fc_g(x))) ⊙ silu(LN(Fc_c(x)))   (CHGNet Eq.)
+//
+// Reference path: two separate linears, two op-composed layer norms, separate
+// sigmoid/silu kernels -- the unfused structure of reference CHGNet.
+//
+// Fused path (paper Fig. 3b): the two linears are evaluated as one GEMM via
+// weight concatenation, and LN + sigmoid + silu + product collapse into one
+// fused activation kernel (silu is derived from the shared sigmoid as
+// silu(x) = x * sigmoid(x), so the sigmoid is computed once per element).
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace fastchg::nn {
+
+class GatedMLP : public Module {
+ public:
+  GatedMLP(index_t in, index_t out, Rng& rng, bool fused = false);
+
+  Var forward(const Var& x) const;
+  bool fused() const { return fused_; }
+  index_t in_features() const { return in_; }
+  index_t out_features() const { return out_; }
+
+ private:
+  Var forward_reference(const Var& x) const;
+  Var forward_fused(const Var& x) const;
+
+  index_t in_, out_;
+  bool fused_;
+  Linear core_fc_, gate_fc_;
+  LayerNorm core_ln_, gate_ln_;
+};
+
+/// Single-kernel fused LN+sigmoid+silu+product over packed [N,2C]
+/// ([core | gate] halves).  Backward is op-composed (double-differentiable).
+Var gated_act_fused(const Var& packed, const Var& gamma_c, const Var& beta_c,
+                    const Var& gamma_g, const Var& beta_g, float eps);
+
+}  // namespace fastchg::nn

@@ -1,0 +1,29 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace fastchg::nn::init {
+
+Tensor xavier_uniform(Shape shape, index_t fan_in, index_t fan_out,
+                      Rng& rng) {
+  Tensor t = Tensor::empty(std::move(shape));
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(std::max<index_t>(fan_in + fan_out, 1)));
+  rng.fill_uniform(t, -a, a);
+  return t;
+}
+
+Tensor bias_uniform(Shape shape, index_t fan_in, Rng& rng) {
+  Tensor t = Tensor::empty(std::move(shape));
+  const float a = 1.0f / std::sqrt(static_cast<float>(std::max<index_t>(fan_in, 1)));
+  rng.fill_uniform(t, -a, a);
+  return t;
+}
+
+Tensor normal(Shape shape, float mean, float stddev, Rng& rng) {
+  Tensor t = Tensor::empty(std::move(shape));
+  rng.fill_normal(t, mean, stddev);
+  return t;
+}
+
+}  // namespace fastchg::nn::init

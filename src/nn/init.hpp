@@ -1,0 +1,17 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace fastchg::nn::init {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(Shape shape, index_t fan_in, index_t fan_out, Rng& rng);
+
+/// Kaiming-style uniform for biases: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+Tensor bias_uniform(Shape shape, index_t fan_in, Rng& rng);
+
+Tensor normal(Shape shape, float mean, float stddev, Rng& rng);
+
+}  // namespace fastchg::nn::init

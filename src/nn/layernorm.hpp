@@ -1,0 +1,47 @@
+// Layer normalization over the last dimension of a [N, C] tensor.
+//
+// Two execution paths:
+//  * composed (reference): mean/var/normalize/affine as ~8 primitive kernels,
+//    matching the unfused reference-CHGNet implementation;
+//  * fused: one forward kernel; the backward is expressed with primitive ops
+//    (recomputed from the input), so it remains double-differentiable --
+//    required because FastCHGNet "w/o head" still trains through dE/dx.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fastchg::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(index_t dim, bool fused = false, float eps = 1e-5f);
+
+  Var forward(const Var& x) const;
+  bool fused() const { return fused_; }
+  const Var& gamma() const { return gamma_; }
+  const Var& beta() const { return beta_; }
+
+ private:
+  index_t dim_;
+  bool fused_;
+  float eps_;
+  Var gamma_, beta_;
+};
+
+/// Free-function composite LN used by both the reference path and fused
+/// backwards: out = (x - mean) * rstd * gamma + beta, rowwise.
+Var layernorm_composite(const Var& x, const Var& gamma, const Var& beta,
+                        float eps);
+
+/// Single-kernel fused LN (forward); backward is op-composed.
+Var layernorm_fused(const Var& x, const Var& gamma, const Var& beta,
+                    float eps);
+
+/// Op-composed LN backward: given upstream grad `g`, returns
+/// {grad_x, grad_gamma, grad_beta}.  Shared by layernorm_fused and the fused
+/// GatedMLP backward; being op-composed keeps it double-differentiable.
+std::vector<Var> layernorm_backward_ops(const Var& x, const Var& gamma,
+                                        const Var& beta, float eps,
+                                        const Var& g);
+
+}  // namespace fastchg::nn

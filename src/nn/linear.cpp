@@ -1,0 +1,55 @@
+#include "nn/linear.hpp"
+
+#include <numeric>
+
+#include "autograd/ops.hpp"
+#include "nn/init.hpp"
+
+namespace fastchg::nn {
+
+using namespace ag::ops;
+
+Linear::Linear(index_t in, index_t out, Rng& rng, bool bias)
+    : in_(in), out_(out) {
+  w_ = add_parameter("w", init::xavier_uniform({in, out}, in, out, rng));
+  if (bias) b_ = add_parameter("b", init::bias_uniform({out}, in, rng));
+}
+
+Var Linear::forward(const Var& x) const {
+  Var y = matmul(x, w_);
+  if (b_.defined()) y = add(y, b_);
+  return y;
+}
+
+PackedLinear::PackedLinear(index_t in, std::vector<index_t> outs, Rng& rng,
+                           bool bias)
+    : in_(in), outs_(std::move(outs)) {
+  FASTCHG_CHECK(!outs_.empty(), "PackedLinear: no heads");
+  offsets_.resize(outs_.size() + 1, 0);
+  std::partial_sum(outs_.begin(), outs_.end(), offsets_.begin() + 1);
+  const index_t total = offsets_.back();
+  // Init each head's column block as if it were a standalone [in, out_i]
+  // linear so packed and unpacked models start from the same distribution.
+  Tensor w = Tensor::empty({in_, total});
+  for (std::size_t h = 0; h < outs_.size(); ++h) {
+    Tensor wh = init::xavier_uniform({in_, outs_[h]}, in_, outs_[h], rng);
+    for (index_t r = 0; r < in_; ++r)
+      std::copy(wh.data() + r * outs_[h], wh.data() + (r + 1) * outs_[h],
+                w.data() + r * total + offsets_[h]);
+  }
+  w_ = add_parameter("w", std::move(w));
+  if (bias) b_ = add_parameter("b", init::bias_uniform({total}, in_, rng));
+}
+
+Var PackedLinear::forward(const Var& x) const {
+  Var y = matmul(x, w_);
+  if (b_.defined()) y = add(y, b_);
+  return y;
+}
+
+Var PackedLinear::head(std::size_t i, const Var& packed) const {
+  FASTCHG_CHECK(i < outs_.size(), "PackedLinear: head " << i);
+  return narrow(packed, 1, offsets_[i], outs_[i]);
+}
+
+}  // namespace fastchg::nn

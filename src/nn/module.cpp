@@ -1,0 +1,68 @@
+#include "nn/module.hpp"
+
+#include "core/error.hpp"
+
+namespace fastchg::nn {
+
+Var Module::add_parameter(std::string name, Tensor init) {
+  Var p(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), p);
+  return p;
+}
+
+void Module::add_child(std::string name, Module* child) {
+  FASTCHG_CHECK(child != nullptr, "add_child: null child '" << name << "'");
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Var>>& out) const {
+  for (const auto& [name, p] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, p);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<std::pair<std::string, Var>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  collect("", out);
+  return out;
+}
+
+std::vector<Var> Module::parameters() const {
+  std::vector<Var> out;
+  for (auto& [name, p] : named_parameters()) out.push_back(p);
+  return out;
+}
+
+index_t Module::num_parameters() const {
+  index_t n = 0;
+  for (const Var& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (Var& p : parameters()) p.zero_grad();
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = named_parameters();
+  auto src = other.named_parameters();
+  FASTCHG_CHECK(dst.size() == src.size(),
+                "copy_parameters_from: " << dst.size() << " vs "
+                                         << src.size() << " parameters");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    FASTCHG_CHECK(dst[i].first == src[i].first,
+                  "parameter name mismatch: " << dst[i].first << " vs "
+                                              << src[i].first);
+    Tensor& d = dst[i].second.node()->value;
+    const Tensor& s = src[i].second.value();
+    FASTCHG_CHECK(same_shape(d.shape(), s.shape()),
+                  "parameter shape mismatch at " << dst[i].first);
+    std::copy(s.data(), s.data() + s.numel(), d.data());
+  }
+}
+
+}  // namespace fastchg::nn

@@ -1,0 +1,49 @@
+// Module base class: owns named parameters, composes children, and supports
+// the replica operations the data-parallel trainer needs (parameter
+// broadcast, gradient export/import).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace fastchg::nn {
+
+using ag::Var;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;  // parameters are identity-bearing
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters, depth-first, with dotted names ("atom_conv.mlp.w").
+  std::vector<std::pair<std::string, Var>> named_parameters() const;
+  std::vector<Var> parameters() const;
+  index_t num_parameters() const;
+
+  void zero_grad();
+
+  /// Copy parameter *values* elementwise from a structurally identical
+  /// module (used to broadcast the master weights to device replicas).
+  void copy_parameters_from(const Module& other);
+
+ protected:
+  /// Register a trainable parameter initialized with `init`.
+  Var add_parameter(std::string name, Tensor init);
+  /// Register a child module; `child` must outlive this module (children are
+  /// normally value members of the parent).
+  void add_child(std::string name, Module* child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Var>>& out) const;
+
+  std::vector<std::pair<std::string, Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace fastchg::nn

@@ -1,0 +1,110 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace fastchg::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFA57C46E;  // "FastCHGNet"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FASTCHG_CHECK(is.good(), "checkpoint: truncated file");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FASTCHG_CHECK(is.good(), "checkpoint: truncated file");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  FASTCHG_CHECK(n < (1u << 20), "checkpoint: implausible string length");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  FASTCHG_CHECK(is.good(), "checkpoint: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(const Module& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FASTCHG_CHECK(os.is_open(), "checkpoint: cannot open '" << path
+                                                          << "' for write");
+  auto params = m.named_parameters();
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u64(os, params.size());
+  for (const auto& [name, p] : params) {
+    write_string(os, name);
+    const Tensor& t = p.value();
+    write_u64(os, static_cast<std::uint64_t>(t.dim()));
+    for (index_t d = 0; d < t.dim(); ++d) {
+      write_u64(os, static_cast<std::uint64_t>(t.size(d)));
+    }
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  FASTCHG_CHECK(os.good(), "checkpoint: write to '" << path << "' failed");
+}
+
+void load_parameters(Module& m, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FASTCHG_CHECK(is.is_open(), "checkpoint: cannot open '" << path << "'");
+  FASTCHG_CHECK(read_u32(is) == kMagic,
+                "checkpoint: '" << path << "' is not a FastCHGNet checkpoint");
+  const std::uint32_t version = read_u32(is);
+  FASTCHG_CHECK(version == kVersion,
+                "checkpoint: unsupported version " << version);
+  auto params = m.named_parameters();
+  const std::uint64_t count = read_u64(is);
+  FASTCHG_CHECK(count == params.size(),
+                "checkpoint: holds " << count << " parameters, model has "
+                                     << params.size());
+  for (auto& [name, p] : params) {
+    const std::string stored_name = read_string(is);
+    FASTCHG_CHECK(stored_name == name, "checkpoint: parameter '"
+                                           << stored_name
+                                           << "' where model expects '"
+                                           << name << "'");
+    const std::uint64_t dim = read_u64(is);
+    Shape shape;
+    for (std::uint64_t d = 0; d < dim; ++d) {
+      shape.push_back(static_cast<index_t>(read_u64(is)));
+    }
+    Tensor& dst = p.node()->value;
+    FASTCHG_CHECK(same_shape(shape, dst.shape()),
+                  "checkpoint: '" << name << "' has shape "
+                                  << shape_str(shape) << ", model expects "
+                                  << shape_str(dst.shape()));
+    is.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(dst.numel() * sizeof(float)));
+    FASTCHG_CHECK(is.good(), "checkpoint: truncated payload for '" << name
+                                                                   << "'");
+  }
+}
+
+}  // namespace fastchg::nn

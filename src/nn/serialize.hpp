@@ -1,0 +1,21 @@
+// Model checkpointing: save/load a Module's named parameters to a simple
+// self-describing binary format (magic, count, then per-parameter name,
+// shape, float32 payload).  Loading validates names and shapes strictly so
+// a checkpoint can only be restored into a structurally identical model.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace fastchg::nn {
+
+/// Write all named parameters of `m` to `path`.  Throws fastchg::Error on
+/// I/O failure.
+void save_parameters(const Module& m, const std::string& path);
+
+/// Restore parameters saved with save_parameters.  Throws on missing file,
+/// corrupt payload, or any name/shape mismatch.
+void load_parameters(Module& m, const std::string& path);
+
+}  // namespace fastchg::nn

@@ -1,0 +1,28 @@
+#include "parallel/bucketing.hpp"
+
+#include "core/error.hpp"
+
+namespace fastchg::parallel {
+
+std::vector<GradientBucket> make_gradient_buckets(
+    const std::vector<ag::Var>& params, std::uint64_t target_bytes) {
+  FASTCHG_CHECK(target_bytes > 0, "make_gradient_buckets: target_bytes");
+  std::vector<GradientBucket> buckets;
+  GradientBucket current;
+  // Backward produces gradients roughly in reverse registration order
+  // (outputs first), so buckets fill back-to-front like DDP's.
+  for (std::size_t k = params.size(); k-- > 0;) {
+    const std::uint64_t bytes = tensor_bytes(params[k].numel());
+    if (!current.param_indices.empty() &&
+        current.bytes + bytes > target_bytes) {
+      buckets.push_back(std::move(current));
+      current = GradientBucket{};
+    }
+    current.param_indices.push_back(k);
+    current.bytes += bytes;
+  }
+  if (!current.param_indices.empty()) buckets.push_back(std::move(current));
+  return buckets;
+}
+
+}  // namespace fastchg::parallel

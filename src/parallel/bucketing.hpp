@@ -1,0 +1,27 @@
+// Gradient bucketing (paper Sec. III-C "Communication Overlap"): instead of
+// one all-reduce after the full backward pass, parameters are grouped into
+// byte-bounded buckets that are reduced as soon as their gradients are
+// ready, overlapping communication with the remaining backward compute.
+// The bucket count feeds the per-call latency term of the comm model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace fastchg::parallel {
+
+struct GradientBucket {
+  std::vector<std::size_t> param_indices;  ///< into the parameter list
+  std::uint64_t bytes = 0;
+};
+
+/// Greedily pack parameters (in reverse registration order, the order their
+/// gradients become available during backward) into buckets of at most
+/// `target_bytes` each.  A single parameter larger than the target gets its
+/// own bucket.
+std::vector<GradientBucket> make_gradient_buckets(
+    const std::vector<ag::Var>& params, std::uint64_t target_bytes);
+
+}  // namespace fastchg::parallel

@@ -1,0 +1,62 @@
+#include "parallel/comm_model.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace fastchg::parallel {
+
+double ring_allreduce_seconds(std::uint64_t bytes, int num_devices,
+                              const CommConfig& cfg) {
+  FASTCHG_CHECK(num_devices >= 1, "ring_allreduce: devices");
+  if (num_devices == 1) return 0.0;
+  const double p = static_cast<double>(num_devices);
+  const double bw = num_devices <= cfg.gpus_per_node ? cfg.intra_node_bw
+                                                     : cfg.inter_node_bw;
+  return 2.0 * (p - 1.0) / p * static_cast<double>(bytes) / bw +
+         2.0 * (p - 1.0) * cfg.latency;
+}
+
+AllReduceCost bucketed_allreduce_cost(std::uint64_t bytes, int num_devices,
+                                      const CommConfig& cfg) {
+  AllReduceCost cost;
+  if (num_devices <= 1) return cost;
+  const double p = static_cast<double>(num_devices);
+  const double n = static_cast<double>(bytes);
+  const double bkt = static_cast<double>(std::max(cfg.buckets, 1));
+  if (num_devices <= cfg.gpus_per_node) {
+    cost.bandwidth_s = 2.0 * (p - 1.0) / p * n / cfg.intra_node_bw;
+    cost.latency_s = bkt * 2.0 * (p - 1.0) * cfg.latency;
+    return cost;
+  }
+  if (!cfg.hierarchical) {
+    cost.bandwidth_s = 2.0 * (p - 1.0) / p * n / cfg.inter_node_bw;
+    cost.latency_s = bkt * 2.0 * (p - 1.0) * cfg.latency;
+    return cost;
+  }
+  // Two-level: intra-node ring over G devices, then inter-node ring over
+  // the M = P/G node leaders (NCCL-style reduce + broadcast halves).
+  const double g = static_cast<double>(cfg.gpus_per_node);
+  const double m = p / g;
+  cost.bandwidth_s = 2.0 * (g - 1.0) / g * n / cfg.intra_node_bw +
+                     2.0 * (m - 1.0) / m * n / cfg.inter_node_bw;
+  cost.latency_s = bkt * 2.0 * ((g - 1.0) + (m - 1.0)) * cfg.latency;
+  return cost;
+}
+
+double exposed_comm_seconds(double comm_s, double backward_s, bool overlap,
+                            double overlap_fraction) {
+  if (!overlap) return comm_s;
+  return std::max(0.0, comm_s - overlap_fraction * backward_s);
+}
+
+double h2d_seconds(std::uint64_t bytes, const CommConfig& cfg) {
+  return static_cast<double>(bytes) / cfg.h2d_bw;
+}
+
+double exposed_h2d_seconds(double copy_s, double compute_s, bool prefetch) {
+  if (!prefetch) return copy_s;
+  return std::max(0.0, copy_s - compute_s);
+}
+
+}  // namespace fastchg::parallel

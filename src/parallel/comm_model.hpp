@@ -1,0 +1,62 @@
+// Interconnect cost model for the virtual-GPU cluster (DESIGN.md Sec. 2).
+//
+// Ring all-reduce of N bytes over P devices:
+//   t = 2 (P-1)/P * N / BW  +  2 (P-1) * latency
+// BW is the NVLink-class intra-node bandwidth while the ring fits on one
+// node (paper: 4 GPUs/node) and the fat-tree InfiniBand bandwidth once it
+// spans nodes -- this bandwidth cliff is what bends the paper's strong-
+// scaling curve (efficiency 82.5% -> 66% from 8 to 32 GPUs).
+//
+// Overlap accounting mirrors the paper's "Communication Overlap" and "Data
+// Prefetch" optimizations: bucketed all-reduce hides up to a fraction of the
+// backward pass; prefetch hides host-to-device copies behind compute.
+#pragma once
+
+#include <cstdint>
+
+namespace fastchg::parallel {
+
+struct CommConfig {
+  double intra_node_bw = 150e9;  ///< B/s effective all-reduce bandwidth (NVLink)
+  double inter_node_bw = 18e9;   ///< B/s across the fat-tree
+  double latency = 15e-6;        ///< s per ring hop
+  int gpus_per_node = 4;         ///< paper: 4 GPUs used per node
+  double h2d_bw = 24e9;          ///< B/s PCIe host-to-device
+  /// Gradient bucketing: the model's many small parameter tensors are
+  /// reduced in `buckets` separate all-reduce calls (DDP-style).  Each call
+  /// pays the full ring latency; only the bandwidth part can hide behind
+  /// the backward pass.
+  int buckets = 40;
+  /// Two-level all-reduce when the ring spans nodes: reduce within each
+  /// node over NVLink, then ring the node leaders over the fat-tree
+  /// (NCCL-style).  Cheaper than a flat inter-node ring.
+  bool hierarchical = true;
+};
+
+/// Ring all-reduce wall time for `bytes` over `num_devices` in ONE call.
+double ring_allreduce_seconds(std::uint64_t bytes, int num_devices,
+                              const CommConfig& cfg = {});
+
+/// Bucketed all-reduce cost, split into the overlappable bandwidth part and
+/// the per-bucket latency part that stays exposed.
+struct AllReduceCost {
+  double bandwidth_s = 0.0;
+  double latency_s = 0.0;
+  double total() const { return bandwidth_s + latency_s; }
+};
+AllReduceCost bucketed_allreduce_cost(std::uint64_t bytes, int num_devices,
+                                      const CommConfig& cfg = {});
+
+/// Exposed (non-hidden) communication when gradient bucketing overlaps the
+/// all-reduce with up to `overlap_fraction` of the backward pass.
+double exposed_comm_seconds(double comm_s, double backward_s, bool overlap,
+                            double overlap_fraction = 0.8);
+
+/// Host-to-device copy time for `bytes`.
+double h2d_seconds(std::uint64_t bytes, const CommConfig& cfg = {});
+
+/// Exposed copy time with/without the prefetch pipeline (double-buffering
+/// hides the copy behind the previous iteration's compute).
+double exposed_h2d_seconds(double copy_s, double compute_s, bool prefetch);
+
+}  // namespace fastchg::parallel

@@ -1,0 +1,159 @@
+#include "parallel/data_parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "perf/timer.hpp"
+#include "train/atom_ref.hpp"
+
+namespace fastchg::parallel {
+
+DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& mcfg,
+                                         const DataParallelConfig& cfg,
+                                         std::uint64_t model_seed)
+    : cfg_(cfg),
+      lr_(cfg.scale_lr
+              ? train::scaled_init_lr(cfg.global_batch, cfg.lr_k, cfg.base_lr)
+              : cfg.base_lr) {
+  FASTCHG_CHECK(cfg.num_devices >= 1, "DataParallelTrainer: devices");
+  for (int d = 0; d < cfg.num_devices; ++d) {
+    replicas_.push_back(std::make_unique<model::CHGNet>(mcfg, model_seed));
+    if (d > 0) replicas_[static_cast<std::size_t>(d)]->copy_parameters_from(*replicas_[0]);
+    opts_.push_back(std::make_unique<train::Adam>(
+        replicas_.back()->parameters(), lr_));
+  }
+  // DDP-style 64 KiB gradient buckets determine the all-reduce call count
+  // in the comm-cost accounting.
+  num_buckets_ = static_cast<int>(
+      make_gradient_buckets(replicas_[0]->parameters(), 64 * 1024).size());
+}
+
+std::uint64_t DataParallelTrainer::gradient_bytes() const {
+  return tensor_bytes(replicas_[0]->num_parameters());
+}
+
+void DataParallelTrainer::all_reduce_gradients() {
+  // Average gradients across replicas -- the arithmetic NCCL would do.
+  std::vector<std::vector<ag::Var>> params;
+  params.reserve(replicas_.size());
+  for (auto& r : replicas_) params.push_back(r->parameters());
+  const float inv_p = 1.0f / static_cast<float>(replicas_.size());
+  for (std::size_t i = 0; i < params[0].size(); ++i) {
+    // Some replicas may lack a grad (e.g. parameter unused on a shard with
+    // no angles); treat missing as zero.
+    Tensor sum = Tensor::zeros(params[0][i].shape());
+    for (auto& dev_params : params) {
+      if (dev_params[i].has_grad()) sum.add_(dev_params[i].grad());
+    }
+    sum.mul_(inv_p);
+    for (auto& dev_params : params) {
+      dev_params[i].set_grad(sum.clone());
+    }
+  }
+}
+
+float DataParallelTrainer::replica_divergence() const {
+  float worst = 0.0f;
+  auto ref = replicas_[0]->parameters();
+  for (std::size_t d = 1; d < replicas_.size(); ++d) {
+    auto other = replicas_[d]->parameters();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const float* a = ref[i].value().data();
+      const float* b = other[i].value().data();
+      for (index_t k = 0; k < ref[i].numel(); ++k) {
+        worst = std::max(worst, std::fabs(a[k] - b[k]));
+      }
+    }
+  }
+  return worst;
+}
+
+std::uint64_t shard_bytes(const data::Dataset& ds,
+                          const std::vector<index_t>& rows) {
+  std::uint64_t bytes = 0;
+  for (index_t row : rows) {
+    const data::GraphData& g = ds[row].graph;
+    // positions + forces [A,3]*2, magmom [A], edge images [E,3],
+    // src/dst int64 [E]*2, angle indices [G]*2, misc labels.
+    bytes += static_cast<std::uint64_t>(g.num_atoms) * (7 * 4);
+    bytes += static_cast<std::uint64_t>(g.num_edges()) * (3 * 4 + 2 * 8);
+    bytes += static_cast<std::uint64_t>(g.num_angles()) * (2 * 8);
+    bytes += 64;  // lattice, energy, stress
+  }
+  return bytes;
+}
+
+EpochResult DataParallelTrainer::train_epoch(
+    const data::Dataset& ds, const std::vector<index_t>& rows,
+    index_t epoch) {
+  perf::Timer wall;
+  EpochResult result;
+
+  if (cfg_.fit_atom_ref && !replicas_[0]->has_atom_ref()) {
+    const std::vector<float> e0 = train::fit_atom_ref(
+        ds, rows, replicas_[0]->config().num_species);
+    for (auto& r : replicas_) r->set_atom_ref(e0);
+  }
+
+  SamplerConfig scfg;
+  scfg.num_devices = cfg_.num_devices;
+  scfg.global_batch = cfg_.global_batch;
+  scfg.seed = cfg_.seed + static_cast<std::uint64_t>(epoch);
+  const std::vector<index_t> loads = sample_workloads(ds);
+  ShardPlan plan = cfg_.load_balance
+                       ? load_balance_sharding(rows, loads, scfg)
+                       : default_sharding(rows, loads, scfg);
+
+  double loss_sum = 0.0;
+  index_t loss_count = 0;
+  for (const auto& shards : plan.iterations) {
+    IterationTiming it;
+    it.device_compute_s.resize(shards.size());
+    std::uint64_t max_bytes = 0;
+    for (std::size_t d = 0; d < shards.size(); ++d) {
+      perf::Timer t;
+      data::Batch b = data::collate_indices(ds, shards[d]);
+      model::CHGNet& net = *replicas_[d];
+      net.zero_grad();
+      model::ModelOutput out = net.forward(b, model::ForwardMode::kTrain);
+      train::LossResult loss =
+          train::chgnet_loss(out, b, cfg_.weights, cfg_.huber_delta);
+      ag::backward(loss.total);
+      it.device_compute_s[d] = t.seconds();
+      loss_sum += loss.total.item();
+      ++loss_count;
+      max_bytes = std::max(max_bytes, shard_bytes(ds, shards[d]));
+    }
+    all_reduce_gradients();
+    for (auto& opt : opts_) opt->step();
+
+    it.max_compute_s = *std::max_element(it.device_compute_s.begin(),
+                                         it.device_compute_s.end());
+    CommConfig comm_cfg = cfg_.comm;
+    comm_cfg.buckets = num_buckets_;
+    const AllReduceCost cost =
+        bucketed_allreduce_cost(gradient_bytes(), cfg_.num_devices, comm_cfg);
+    it.comm_s = cost.total();
+    // Backward is roughly 2/3 of fwd+bwd compute; the bucketed all-reduce's
+    // bandwidth part can hide inside it, the per-bucket latency cannot.
+    it.exposed_comm_s =
+        cfg_.overlap_comm
+            ? exposed_comm_seconds(cost.bandwidth_s, 0.66 * it.max_compute_s,
+                                   true) +
+                  cost.latency_s
+            : cost.total();
+    it.h2d_s = h2d_seconds(max_bytes, cfg_.comm);
+    it.exposed_h2d_s =
+        exposed_h2d_seconds(it.h2d_s, it.max_compute_s, cfg_.prefetch);
+    it.step_s = it.max_compute_s + it.exposed_comm_s + it.exposed_h2d_s;
+    result.simulated_seconds += it.step_s;
+    result.iterations.push_back(std::move(it));
+  }
+  result.mean_loss =
+      loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+  result.measured_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace fastchg::parallel

@@ -1,0 +1,94 @@
+// Data-parallel training over a virtual GPU cluster.
+//
+// Each virtual device holds a full parameter replica (exactly like DDP).
+// Devices execute their shard sequentially on this machine; the per-device
+// compute is *measured*, the gradient all-reduce is performed for real
+// (tensor averaging across replicas) while its wall time comes from the
+// ring cost model, and the simulated step time is
+//     max_d(compute_d) + exposed_allreduce + exposed_h2d.
+// The optimizer then steps every replica with identical averaged gradients,
+// keeping all replicas bit-identical (asserted in tests), which is the DDP
+// invariant.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parallel/bucketing.hpp"
+#include "parallel/comm_model.hpp"
+#include "parallel/sampler.hpp"
+#include "train/trainer.hpp"
+
+namespace fastchg::parallel {
+
+struct DataParallelConfig {
+  int num_devices = 4;
+  index_t global_batch = 32;
+  bool load_balance = true;   ///< Fig. 4 sampler vs default sharding
+  bool overlap_comm = true;   ///< bucketed all-reduce overlap
+  bool prefetch = true;       ///< H2D double buffering
+  CommConfig comm;
+  float base_lr = 3e-4f;
+  bool scale_lr = true;       ///< Eq. 14 on the *global* batch
+  index_t lr_k = 128;
+  train::LossWeights weights;
+  float huber_delta = 0.1f;
+  bool fit_atom_ref = true;  ///< fit the AtomRef baseline on first epoch
+  std::uint64_t seed = 0;
+};
+
+struct IterationTiming {
+  std::vector<double> device_compute_s;  ///< measured per device
+  double max_compute_s = 0.0;
+  double comm_s = 0.0;          ///< raw all-reduce time (model)
+  double exposed_comm_s = 0.0;  ///< after overlap
+  double h2d_s = 0.0;
+  double exposed_h2d_s = 0.0;
+  double step_s = 0.0;          ///< simulated wall time of the step
+};
+
+struct EpochResult {
+  double simulated_seconds = 0.0;  ///< sum of step_s (virtual cluster)
+  double measured_seconds = 0.0;   ///< actual wall time on this machine
+  double mean_loss = 0.0;
+  std::vector<IterationTiming> iterations;
+};
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(const model::ModelConfig& mcfg,
+                      const DataParallelConfig& cfg,
+                      std::uint64_t model_seed = 0);
+
+  EpochResult train_epoch(const data::Dataset& ds,
+                          const std::vector<index_t>& rows, index_t epoch);
+
+  int num_devices() const { return cfg_.num_devices; }
+  const model::CHGNet& replica(int d) const { return *replicas_[d]; }
+  model::CHGNet& master() { return *replicas_[0]; }
+  float effective_lr() const { return lr_; }
+
+  /// Max elementwise parameter difference across replicas (DDP invariant).
+  float replica_divergence() const;
+
+  /// Bytes of gradient traffic per all-reduce (= model size in bytes).
+  std::uint64_t gradient_bytes() const;
+
+  /// DDP-style gradient buckets used by the comm-cost accounting.
+  int num_gradient_buckets() const { return num_buckets_; }
+
+ private:
+  void all_reduce_gradients();
+
+  DataParallelConfig cfg_;
+  std::vector<std::unique_ptr<model::CHGNet>> replicas_;
+  std::vector<std::unique_ptr<train::Adam>> opts_;
+  float lr_;
+  int num_buckets_ = 1;
+};
+
+/// Rough per-shard H2D payload: positions, labels, images, index arrays.
+std::uint64_t shard_bytes(const data::Dataset& ds,
+                          const std::vector<index_t>& rows);
+
+}  // namespace fastchg::parallel

@@ -1,0 +1,43 @@
+#include "perf/counters.hpp"
+
+namespace fastchg::perf {
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+void count_kernel(const char* name) { count_kernels(name, 1); }
+
+void count_kernels(const char* name, std::uint64_t n) {
+  Counters& c = counters();
+  c.kernel_launches += n;
+  if (c.per_op_enabled) c.per_op[name] += n;
+}
+
+void track_alloc(std::uint64_t bytes) {
+  Counters& c = counters();
+  c.bytes_live += bytes;
+  c.alloc_count += 1;
+  if (c.bytes_live > c.bytes_peak) c.bytes_peak = c.bytes_live;
+}
+
+void track_free(std::uint64_t bytes) {
+  Counters& c = counters();
+  c.bytes_live -= (bytes <= c.bytes_live) ? bytes : c.bytes_live;
+}
+
+void reset_kernels() {
+  Counters& c = counters();
+  c.kernel_launches = 0;
+  c.per_op.clear();
+}
+
+void reset_peak() {
+  Counters& c = counters();
+  c.bytes_peak = c.bytes_live;
+}
+
+void set_per_op(bool enabled) { counters().per_op_enabled = enabled; }
+
+}  // namespace fastchg::perf

@@ -1,0 +1,49 @@
+// Performance accounting: kernel-launch counter and tensor-memory tracker.
+//
+// The paper evaluates its system optimizations partly through (i) the number
+// of launched CUDA kernels (Fig. 8b) and (ii) GPU memory usage (Fig. 8c).
+// On our CPU substrate every primitive tensor operation plays the role of a
+// kernel launch: a fused op calls count_kernel() once, a naive op-by-op
+// composition calls it once per primitive.  Tensor storage allocation /
+// deallocation is routed through the memory tracker so live and peak bytes
+// (including autograd intermediates) can be reported per iteration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fastchg::perf {
+
+/// Global counters.  Not thread-safe by design: the virtual-GPU cluster runs
+/// device contexts sequentially (see src/parallel/), so a single accounting
+/// stream suffices and stays cheap.
+struct Counters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t bytes_live = 0;
+  std::uint64_t bytes_peak = 0;
+  std::uint64_t alloc_count = 0;
+  // Per-op-name launch counts (for attribution tables in benches).
+  std::map<std::string, std::uint64_t> per_op;
+  bool per_op_enabled = false;
+};
+
+Counters& counters();
+
+/// Record one "kernel launch" for op `name`.
+void count_kernel(const char* name);
+
+/// Record `n` launches at once (e.g. a serial per-sample loop).
+void count_kernels(const char* name, std::uint64_t n);
+
+void track_alloc(std::uint64_t bytes);
+void track_free(std::uint64_t bytes);
+
+/// Reset launch counter and per-op map (memory counters are left alone).
+void reset_kernels();
+/// Reset the peak-memory watermark to the current live bytes.
+void reset_peak();
+/// Enable/disable per-op attribution (small map overhead when on).
+void set_per_op(bool enabled);
+
+}  // namespace fastchg::perf

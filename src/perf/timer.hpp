@@ -1,0 +1,48 @@
+// Wall-clock timing helpers used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastchg::perf {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Simple accumulator for repeated timings (mean / min / max / stddev).
+class TimingStats {
+ public:
+  void add(double seconds);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Coefficient of variance (stddev / mean); the paper's load-imbalance
+  /// criterion (Fig. 9 reports 0.186 -> 0.064).
+  double cov() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Render seconds as a human-friendly string ("12.3 ms", "1.52 s").
+std::string format_seconds(double seconds);
+
+}  // namespace fastchg::perf

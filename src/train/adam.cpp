@@ -1,0 +1,48 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+
+namespace fastchg::train {
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p.node()->value.data();
+    const index_t n = p.numel();
+    for (index_t k = 0; k < n; ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Var& p : params_) p.zero_grad();
+}
+
+}  // namespace fastchg::train

@@ -1,0 +1,44 @@
+#include "train/loss.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace fastchg::train {
+
+using namespace ag::ops;
+
+Var huber(const Var& pred, const Var& target, float delta) {
+  Var d = sub(pred, target);
+  Var ad = abs_op(d);
+  // Branch mask as a constant (standard subgradient treatment).
+  Tensor mask_t = Tensor::empty(ad.shape());
+  {
+    const float* p = ad.value().data();
+    float* m = mask_t.data();
+    for (index_t i = 0; i < ad.numel(); ++i) {
+      m[i] = p[i] <= delta ? 1.0f : 0.0f;
+    }
+  }
+  Var mask = constant(std::move(mask_t));
+  Var quad = mul_scalar(square(d), 0.5f);
+  Var lin = mul_scalar(add_scalar(ad, -0.5f * delta), delta);
+  Var loss = add(mul(mask, quad), mul(sub(ones_like(mask), mask), lin));
+  return mean_all(loss);
+}
+
+LossResult chgnet_loss(const model::ModelOutput& out, const data::Batch& b,
+                       const LossWeights& w, float delta) {
+  Var le = huber(out.energy_per_atom, constant(b.energy_per_atom), delta);
+  Var lf = huber(out.forces, constant(b.forces), delta);
+  Var ls = huber(out.stress, constant(b.stress), delta);
+  Var lm = huber(out.magmom, constant(b.magmom), delta);
+  LossResult r;
+  r.energy = le.item();
+  r.force = lf.item();
+  r.stress = ls.item();
+  r.magmom = lm.item();
+  r.total = add(add(mul_scalar(le, w.energy), mul_scalar(lf, w.force)),
+                add(mul_scalar(ls, w.stress), mul_scalar(lm, w.magmom)));
+  return r;
+}
+
+}  // namespace fastchg::train

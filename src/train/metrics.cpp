@@ -1,0 +1,74 @@
+#include "train/metrics.hpp"
+
+#include <cmath>
+
+#include "data/crystal.hpp"
+
+namespace fastchg::train {
+
+void RegressionStats::add(const Tensor& pred, const Tensor& target) {
+  FASTCHG_CHECK(pred.numel() == target.numel(),
+                "RegressionStats: " << pred.numel() << " vs "
+                                    << target.numel());
+  const float* p = pred.data();
+  const float* t = target.data();
+  for (index_t i = 0; i < pred.numel(); ++i) {
+    add(static_cast<double>(p[i]), static_cast<double>(t[i]));
+  }
+}
+
+void RegressionStats::add(double pred, double target) {
+  ++n_;
+  const double err = pred - target;
+  abs_err_sum_ += std::fabs(err);
+  sum_t_ += target;
+  sum_t2_ += target * target;
+  sum_sq_err_ += err * err;
+  if (keep_pairs_) {
+    pairs_.emplace_back(static_cast<float>(pred),
+                        static_cast<float>(target));
+  }
+}
+
+double RegressionStats::mae() const {
+  return n_ > 0 ? abs_err_sum_ / static_cast<double>(n_) : 0.0;
+}
+
+double RegressionStats::r2() const {
+  if (n_ < 2) return 0.0;
+  const double mean_t = sum_t_ / static_cast<double>(n_);
+  const double ss_tot = sum_t2_ - static_cast<double>(n_) * mean_t * mean_t;
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - sum_sq_err_ / ss_tot;
+}
+
+EvalMetrics evaluate_model(const model::CHGNet& net, const data::Dataset& ds,
+                           const std::vector<index_t>& indices,
+                           index_t batch_size, RegressionStats* energy_pairs,
+                           RegressionStats* force_pairs) {
+  RegressionStats e_stats, f_stats, s_stats, m_stats;
+  if (energy_pairs == nullptr) energy_pairs = &e_stats;
+  if (force_pairs == nullptr) force_pairs = &f_stats;
+  for (std::size_t lo = 0; lo < indices.size();
+       lo += static_cast<std::size_t>(batch_size)) {
+    const std::size_t hi =
+        std::min(indices.size(), lo + static_cast<std::size_t>(batch_size));
+    std::vector<index_t> rows(indices.begin() + lo, indices.begin() + hi);
+    data::Batch b = data::collate_indices(ds, rows);
+    model::ModelOutput out = net.forward(b, model::ForwardMode::kEval);
+    energy_pairs->add(out.energy_per_atom.value(), b.energy_per_atom);
+    force_pairs->add(out.forces.value(), b.forces);
+    s_stats.add(out.stress.value(), b.stress);
+    m_stats.add(out.magmom.value(), b.magmom);
+  }
+  EvalMetrics m;
+  m.energy_mae_mev_atom = energy_pairs->mae() * 1e3;
+  m.force_mae_mev_a = force_pairs->mae() * 1e3;
+  m.stress_mae_gpa = s_stats.mae() * data::kEvA3ToGPa;
+  m.magmom_mae_mmub = m_stats.mae() * 1e3;
+  m.energy_r2 = energy_pairs->r2();
+  m.force_r2 = force_pairs->r2();
+  return m;
+}
+
+}  // namespace fastchg::train

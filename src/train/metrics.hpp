@@ -1,0 +1,48 @@
+// Evaluation metrics: MAE (Table I) and R^2 (Fig. 7), with unit conversions
+// matching the paper's reporting (meV/atom, meV/A, GPa, milli-mu_B).
+#pragma once
+
+#include <vector>
+
+#include "chgnet/model.hpp"
+#include "data/batch.hpp"
+
+namespace fastchg::train {
+
+/// Streaming accumulator for MAE and R^2 over many batches.
+class RegressionStats {
+ public:
+  void add(const Tensor& pred, const Tensor& target);
+  void add(double pred, double target);
+  double mae() const;
+  double r2() const;
+  index_t count() const { return n_; }
+  /// (prediction, target) pairs retained for parity plots (Fig. 7).
+  const std::vector<std::pair<float, float>>& pairs() const { return pairs_; }
+  void keep_pairs(bool keep) { keep_pairs_ = keep; }
+
+ private:
+  index_t n_ = 0;
+  double abs_err_sum_ = 0.0;
+  double sum_t_ = 0.0, sum_t2_ = 0.0, sum_sq_err_ = 0.0;
+  bool keep_pairs_ = false;
+  std::vector<std::pair<float, float>> pairs_;
+};
+
+struct EvalMetrics {
+  double energy_mae_mev_atom = 0.0;  ///< meV/atom
+  double force_mae_mev_a = 0.0;      ///< meV/A
+  double stress_mae_gpa = 0.0;       ///< GPa
+  double magmom_mae_mmub = 0.0;      ///< milli-mu_B
+  double energy_r2 = 0.0;
+  double force_r2 = 0.0;
+};
+
+/// Evaluate `net` on the given dataset rows (eval mode, batched).
+EvalMetrics evaluate_model(const model::CHGNet& net, const data::Dataset& ds,
+                           const std::vector<index_t>& indices,
+                           index_t batch_size,
+                           RegressionStats* energy_pairs = nullptr,
+                           RegressionStats* force_pairs = nullptr);
+
+}  // namespace fastchg::train

@@ -1,0 +1,27 @@
+#include "train/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace fastchg::train {
+
+CosineAnnealingLR::CosineAnnealingLR(float init_lr, index_t total_steps,
+                                     float min_lr)
+    : init_lr_(init_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  FASTCHG_CHECK(total_steps > 0, "CosineAnnealingLR: total_steps");
+}
+
+float CosineAnnealingLR::lr_at(index_t t) const {
+  const double x = std::min<double>(1.0, static_cast<double>(t) /
+                                             static_cast<double>(total_steps_));
+  return static_cast<float>(
+      min_lr_ + 0.5 * (init_lr_ - min_lr_) * (1.0 + std::cos(M_PI * x)));
+}
+
+float scaled_init_lr(index_t batch_size, index_t k, float base_lr) {
+  return static_cast<float>(batch_size) / static_cast<float>(k) * base_lr;
+}
+
+}  // namespace fastchg::train

@@ -1,0 +1,24 @@
+// Learning-rate schedule: cosine annealing (paper Sec. IV) plus the linear
+// large-batch scaling rule of Eq. 14: init_LR = batch/k * 3e-4, k = 128.
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace fastchg::train {
+
+class CosineAnnealingLR {
+ public:
+  CosineAnnealingLR(float init_lr, index_t total_steps, float min_lr = 0.0f);
+  /// LR at step t (clamped to total_steps).
+  float lr_at(index_t t) const;
+
+ private:
+  float init_lr_, min_lr_;
+  index_t total_steps_;
+};
+
+/// Eq. 14: scale the base LR linearly with the global batch size.
+float scaled_init_lr(index_t batch_size, index_t k = 128,
+                     float base_lr = 3e-4f);
+
+}  // namespace fastchg::train

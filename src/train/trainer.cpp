@@ -1,0 +1,144 @@
+#include "train/trainer.hpp"
+
+#include <optional>
+
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+#include "data/prefetch.hpp"
+#include "perf/timer.hpp"
+
+namespace fastchg::train {
+
+Trainer::Trainer(model::CHGNet& net, const TrainConfig& cfg)
+    : net_(net),
+      cfg_(cfg),
+      init_lr_(cfg.scale_lr ? scaled_init_lr(cfg.batch_size, cfg.lr_k,
+                                             cfg.base_lr)
+                            : cfg.base_lr),
+      opt_(net.parameters(), init_lr_) {}
+
+EpochStats Trainer::train_epoch(const data::Dataset& ds,
+                                const std::vector<index_t>& train_idx,
+                                index_t epoch) {
+  if (cfg_.fit_atom_ref && !net_.has_atom_ref()) {
+    net_.set_atom_ref(fit_atom_ref(ds, train_idx, net_.config().num_species));
+  }
+  perf::Timer timer;
+  EpochStats st;
+  std::vector<index_t> order = train_idx;
+  Rng rng(cfg_.shuffle_seed + static_cast<std::uint64_t>(epoch));
+  rng.shuffle(order);
+
+  const index_t steps_per_epoch = std::max<index_t>(
+      1, (static_cast<index_t>(order.size()) + cfg_.batch_size - 1) /
+             cfg_.batch_size);
+  CosineAnnealingLR sched(init_lr_, cfg_.epochs * steps_per_epoch,
+                          cfg_.min_lr);
+
+  // Mini-batch plan; with prefetch on, batches are collated one step ahead
+  // on a background thread (the paper's "Data Prefetch").  With gradient
+  // accumulation the optimizer steps once per `accumulation_steps`
+  // micro-batches, averaging their gradients (loss scaled by 1/A).
+  const index_t accum = std::max<index_t>(1, cfg_.accumulation_steps);
+  std::vector<std::vector<index_t>> plan;
+  for (std::size_t lo = 0; lo < order.size();
+       lo += static_cast<std::size_t>(cfg_.batch_size)) {
+    const std::size_t hi =
+        std::min(order.size(), lo + static_cast<std::size_t>(cfg_.batch_size));
+    plan.emplace_back(order.begin() + lo, order.begin() + hi);
+  }
+  std::optional<data::PrefetchLoader> loader;
+  if (cfg_.prefetch) loader.emplace(ds, plan, /*depth=*/2);
+
+  index_t micro = 0;
+  for (std::size_t step = 0; step < plan.size(); ++step) {
+    data::Batch b = cfg_.prefetch ? std::move(*loader->next())
+                                  : data::collate_indices(ds, plan[step]);
+
+    opt_.set_lr(sched.lr_at(global_step_));
+    if (micro == 0) opt_.zero_grad();
+    model::ModelOutput out = net_.forward(b, model::ForwardMode::kTrain);
+    LossResult loss = chgnet_loss(out, b, cfg_.weights, cfg_.huber_delta);
+    ag::backward(accum == 1
+                     ? loss.total
+                     : ag::ops::mul_scalar(loss.total,
+                                           1.0f / static_cast<float>(accum)));
+    if (++micro == accum || step + 1 == plan.size()) {
+      opt_.step();
+      micro = 0;
+    }
+
+    st.mean_loss += loss.total.item();
+    st.energy_loss += loss.energy;
+    st.force_loss += loss.force;
+    st.stress_loss += loss.stress;
+    st.magmom_loss += loss.magmom;
+    ++st.iterations;
+    ++global_step_;
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(st.iterations));
+  st.mean_loss /= n;
+  st.energy_loss /= n;
+  st.force_loss /= n;
+  st.stress_loss /= n;
+  st.magmom_loss /= n;
+  st.seconds = timer.seconds();
+  return st;
+}
+
+std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
+                                     const std::vector<index_t>& train_idx) {
+  std::vector<EpochStats> history;
+  for (index_t e = 0; e < cfg_.epochs; ++e) {
+    history.push_back(train_epoch(ds, train_idx, e));
+    if (on_epoch) on_epoch(e, history.back());
+  }
+  return history;
+}
+
+std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
+                                     const std::vector<index_t>& train_idx,
+                                     const std::vector<index_t>& val_idx,
+                                     index_t patience) {
+  FASTCHG_CHECK(!val_idx.empty(), "fit: empty validation split");
+  std::vector<EpochStats> history;
+  double best_score = std::numeric_limits<double>::max();
+  index_t since_best = 0;
+  std::vector<Tensor> best_weights;
+  auto params = net_.parameters();
+  for (index_t e = 0; e < cfg_.epochs; ++e) {
+    EpochStats st = train_epoch(ds, train_idx, e);
+    EvalMetrics m = evaluate(ds, val_idx);
+    st.val_score = cfg_.weights.energy * m.energy_mae_mev_atom +
+                   cfg_.weights.force * m.force_mae_mev_a +
+                   cfg_.weights.stress * m.stress_mae_gpa +
+                   cfg_.weights.magmom * m.magmom_mae_mmub;
+    history.push_back(st);
+    if (on_epoch) on_epoch(e, history.back());
+    if (st.val_score < best_score) {
+      best_score = st.val_score;
+      since_best = 0;
+      best_weights.clear();
+      for (const auto& p : params) best_weights.push_back(p.value().clone());
+    } else if (++since_best > patience) {
+      break;  // early stop
+    }
+  }
+  // Restore the best-validation weights.
+  if (!best_weights.empty()) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      Tensor& dst = params[i].node()->value;
+      std::copy(best_weights[i].data(),
+                best_weights[i].data() + best_weights[i].numel(),
+                dst.data());
+    }
+  }
+  return history;
+}
+
+EvalMetrics Trainer::evaluate(const data::Dataset& ds,
+                              const std::vector<index_t>& idx) const {
+  return evaluate_model(net_, ds, idx, cfg_.batch_size);
+}
+
+}  // namespace fastchg::train

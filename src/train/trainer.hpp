@@ -1,0 +1,90 @@
+// Single-device trainer: mini-batch loop, Adam, cosine annealing, optional
+// Eq.-14 LR scaling, per-epoch loss/metric tracking.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "train/adam.hpp"
+#include "train/atom_ref.hpp"
+#include "train/loss.hpp"
+#include "train/metrics.hpp"
+#include "train/scheduler.hpp"
+
+namespace fastchg::train {
+
+struct TrainConfig {
+  index_t batch_size = 32;
+  index_t epochs = 10;
+  float base_lr = 3e-4f;
+  bool scale_lr = false;   ///< apply Eq. 14 with lr_k
+  index_t lr_k = 128;
+  float min_lr = 1e-5f;
+  LossWeights weights;
+  float huber_delta = 0.1f;
+  std::uint64_t shuffle_seed = 42;
+  /// Fit CHGNet's AtomRef composition baseline on the training rows before
+  /// the first epoch (strongly recommended; see atom_ref.hpp).
+  bool fit_atom_ref = true;
+  /// Collate the next mini-batch on a background thread while the current
+  /// one trains (the paper's "Data Prefetch" optimization).
+  bool prefetch = true;
+  /// Gradient accumulation: each optimizer step averages the gradients of
+  /// this many consecutive mini-batches (large-batch training on a memory
+  /// budget; 1 = off).
+  index_t accumulation_steps = 1;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double energy_loss = 0.0;
+  double force_loss = 0.0;
+  double stress_loss = 0.0;
+  double magmom_loss = 0.0;
+  double seconds = 0.0;
+  index_t iterations = 0;
+  /// Weighted validation loss (energy+force+stress+magmom MAEs, loss
+  /// weights applied); NaN when fit() ran without a validation split.
+  double val_score = std::numeric_limits<double>::quiet_NaN();
+};
+
+class Trainer {
+ public:
+  Trainer(model::CHGNet& net, const TrainConfig& cfg);
+
+  /// Train on the given dataset rows; returns per-epoch stats.
+  std::vector<EpochStats> fit(const data::Dataset& ds,
+                              const std::vector<index_t>& train_idx);
+
+  /// Train with validation-based early stopping: stops after `patience`
+  /// epochs without val_score improvement and restores the best weights.
+  std::vector<EpochStats> fit(const data::Dataset& ds,
+                              const std::vector<index_t>& train_idx,
+                              const std::vector<index_t>& val_idx,
+                              index_t patience);
+
+  /// One epoch (exposed for the benchmarks' fine-grained control).
+  EpochStats train_epoch(const data::Dataset& ds,
+                         const std::vector<index_t>& train_idx,
+                         index_t epoch);
+
+  EvalMetrics evaluate(const data::Dataset& ds,
+                       const std::vector<index_t>& idx) const;
+
+  /// Effective initial LR after optional Eq.-14 scaling.
+  float initial_lr() const { return init_lr_; }
+  Adam& optimizer() { return opt_; }
+
+  /// Optional per-epoch callback (epoch index, stats).
+  std::function<void(index_t, const EpochStats&)> on_epoch;
+
+ private:
+  model::CHGNet& net_;
+  TrainConfig cfg_;
+  float init_lr_;
+  Adam opt_;
+  index_t global_step_ = 0;
+};
+
+}  // namespace fastchg::train

@@ -1,0 +1,254 @@
+// Tests for the basis functions: envelope (Eq. 12 vs Eq. 13 equivalence),
+// smooth radial Bessel (reference vs fused, gradients, double backward),
+// Fourier angular basis (reference vs fused, gradients).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "basis/envelope.hpp"
+#include "basis/fourier.hpp"
+#include "basis/rbf.hpp"
+#include "perf/counters.hpp"
+
+namespace fastchg::basis {
+namespace {
+
+using namespace ag::ops;
+using ag::GradCheckOptions;
+using ag::gradcheck;
+using ag::gradcheck_double;
+using ag::Var;
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-5f) {
+  ASSERT_TRUE(same_shape(a.shape(), b.shape()));
+  for (index_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "elem " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// envelope
+// ---------------------------------------------------------------------------
+
+class EnvelopeP : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvelopeP, NaiveEqualsFactored) {
+  const int p = GetParam();
+  std::vector<float> xs;
+  for (int i = 1; i <= 40; ++i) xs.push_back(0.025f * static_cast<float>(i));
+  Var x(Tensor::from_vector(xs, {static_cast<index_t>(xs.size()), 1}), false);
+  expect_close(envelope_naive(x, p).value(),
+               envelope_factored(x, p).value(), 2e-5f);
+}
+
+TEST_P(EnvelopeP, VanishesSmoothlyAtCutoff) {
+  const int p = GetParam();
+  EXPECT_NEAR(envelope_value(1.0, p), 0.0, 1e-12);
+  EXPECT_NEAR(envelope_deriv(1.0, p), 0.0, 1e-9);
+  EXPECT_NEAR(envelope_value(0.0, p), 1.0, 1e-12);
+}
+
+TEST_P(EnvelopeP, DerivOpsMatchesFiniteDifference) {
+  const int p = GetParam();
+  for (double xi : {0.2, 0.5, 0.8, 0.95}) {
+    const double h = 1e-6;
+    const double fd =
+        (envelope_value(xi + h, p) - envelope_value(xi - h, p)) / (2 * h);
+    EXPECT_NEAR(envelope_deriv(xi, p), fd, 1e-5) << "xi=" << xi;
+    Var x(Tensor::scalar(static_cast<float>(xi)), false);
+    EXPECT_NEAR(envelope_deriv_ops(x, p).item(), fd, 1e-2) << "xi=" << xi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmoothingP, EnvelopeP, ::testing::Values(4, 6, 8));
+
+TEST(Envelope, FactoredUsesFewerPowKernels) {
+  Var x(Tensor::full({64, 1}, 0.5f), false);
+  perf::reset_kernels();
+  perf::set_per_op(true);
+  (void)envelope_naive(x, 8);
+  const auto naive_pows = perf::counters().per_op["pow_scalar"];
+  perf::reset_kernels();
+  (void)envelope_factored(x, 8);
+  const auto fact_pows = perf::counters().per_op["pow_scalar"];
+  EXPECT_EQ(naive_pows, 3u);
+  EXPECT_EQ(fact_pows, 1u);
+  perf::set_per_op(false);
+  perf::reset_kernels();
+}
+
+// ---------------------------------------------------------------------------
+// radial basis
+// ---------------------------------------------------------------------------
+
+Var random_r(index_t n, Rng& rng, float lo = 1.5f, float hi = 5.5f,
+             bool rg = false) {
+  Tensor t = Tensor::empty({n, 1});
+  rng.fill_uniform(t, lo, hi);
+  return Var(std::move(t), rg);
+}
+
+TEST(RadialBasis, FusedMatchesReference) {
+  Rng rng(1);
+  RadialBasis ref(31, 6.0, 8, /*fused=*/false, /*factored=*/false);
+  RadialBasis fast(31, 6.0, 8, /*fused=*/true, /*factored=*/true);
+  Var r = random_r(40, rng);
+  expect_close(ref.forward(r).value(), fast.forward(r).value(), 2e-5f);
+}
+
+TEST(RadialBasis, FusedIsOneKernel) {
+  Rng rng(2);
+  RadialBasis ref(31, 6.0, 8, false, false);
+  RadialBasis fast(31, 6.0, 8, true, true);
+  Var r = random_r(40, rng);
+  perf::reset_kernels();
+  (void)fast.forward(r);
+  EXPECT_EQ(perf::counters().kernel_launches, 1u);
+  perf::reset_kernels();
+  (void)ref.forward(r);
+  EXPECT_GT(perf::counters().kernel_launches, 10u);
+  perf::reset_kernels();
+}
+
+TEST(RadialBasis, ValuesMatchClosedForm) {
+  RadialBasis rb(4, 6.0, 8, false, false);
+  const float r = 2.5f;
+  Var rv(Tensor::from_vector({r}, {1, 1}), false);
+  Tensor out = rb.forward(rv).value();
+  const float c = std::sqrt(2.0f / 6.0f);
+  const double u = envelope_value(r / 6.0, 8);
+  for (index_t n = 0; n < 4; ++n) {
+    const float freq = static_cast<float>(M_PI) * static_cast<float>(n + 1);
+    const float expect =
+        c * std::sin(freq * r / 6.0f) / r * static_cast<float>(u);
+    EXPECT_NEAR(out.data()[n], expect, 1e-5f);
+  }
+}
+
+TEST(RadialBasis, ReferenceGradCheck) {
+  Rng rng(3);
+  RadialBasis rb(7, 6.0, 8, false, false);
+  Var r = random_r(10, rng, 2.0f, 5.0f, true);
+  GradCheckOptions opt;
+  auto res = gradcheck(
+      [&] { return sum_all(square(rb.forward(r))); },
+      {r, rb.frequencies()}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(RadialBasis, FusedGradCheck) {
+  Rng rng(4);
+  RadialBasis rb(7, 6.0, 8, true, true);
+  Var r = random_r(10, rng, 2.0f, 5.0f, true);
+  GradCheckOptions opt;
+  auto res = gradcheck(
+      [&] { return sum_all(square(rb.forward(r))); },
+      {r, rb.frequencies()}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(RadialBasis, FusedAndReferenceGradsAgree) {
+  Rng rng(5);
+  RadialBasis ref(9, 6.0, 8, false, false);
+  RadialBasis fast(9, 6.0, 8, true, true);
+  Var r1 = random_r(20, rng, 2.0f, 5.0f, true);
+  Var r2 = Var(r1.value().clone(), true);
+  ag::backward(sum_all(square(ref.forward(r1))));
+  ag::backward(sum_all(square(fast.forward(r2))));
+  expect_close(r1.grad(), r2.grad(), 5e-4f);
+}
+
+TEST(RadialBasis, FusedDoubleBackward) {
+  // The force-training path differentiates d(basis)/dr a second time.
+  Rng rng(6);
+  RadialBasis rb(5, 6.0, 8, true, true);
+  Var r = random_r(6, rng, 2.0f, 5.0f, true);
+  GradCheckOptions opt;
+  opt.rtol = 8e-2f;
+  auto res = gradcheck_double(
+      [&] { return sum_all(square(rb.forward(r))); }, {r}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+// ---------------------------------------------------------------------------
+// angular basis
+// ---------------------------------------------------------------------------
+
+Var random_theta(index_t n, Rng& rng, bool rg = false) {
+  Tensor t = Tensor::empty({n, 1});
+  rng.fill_uniform(t, 0.2f, 2.9f);
+  return Var(std::move(t), rg);
+}
+
+TEST(AngularBasis, FusedMatchesReference) {
+  Rng rng(7);
+  AngularBasis ref(31, false), fast(31, true);
+  Var th = random_theta(25, rng);
+  expect_close(ref.forward(th).value(), fast.forward(th).value(), 1e-5f);
+}
+
+TEST(AngularBasis, RejectsEvenBasisCount) {
+  EXPECT_THROW(AngularBasis(30, false), Error);
+}
+
+TEST(AngularBasis, FusedKernelCount) {
+  Rng rng(8);
+  AngularBasis ref(31, false), fast(31, true);
+  Var th = random_theta(25, rng);
+  perf::reset_kernels();
+  (void)fast.forward(th);
+  EXPECT_EQ(perf::counters().kernel_launches, 1u);
+  perf::reset_kernels();
+  (void)ref.forward(th);
+  EXPECT_GT(perf::counters().kernel_launches, 30u);
+  perf::reset_kernels();
+}
+
+TEST(AngularBasis, FirstComponentsClosedForm) {
+  AngularBasis ab(5, true);
+  const float t = 1.3f;
+  Var th(Tensor::from_vector({t}, {1, 1}), false);
+  Tensor out = ab.forward(th).value();
+  const float isp = 1.0f / std::sqrt(static_cast<float>(M_PI));
+  EXPECT_NEAR(out.data()[0], 1.0f / std::sqrt(2.0f * M_PI), 1e-6f);
+  EXPECT_NEAR(out.data()[1], std::cos(t) * isp, 1e-6f);
+  EXPECT_NEAR(out.data()[2], std::cos(2 * t) * isp, 1e-6f);
+  EXPECT_NEAR(out.data()[3], std::sin(t) * isp, 1e-6f);
+  EXPECT_NEAR(out.data()[4], std::sin(2 * t) * isp, 1e-6f);
+}
+
+TEST(AngularBasis, FusedGradCheck) {
+  Rng rng(9);
+  AngularBasis ab(9, true);
+  Var th = random_theta(8, rng, true);
+  GradCheckOptions opt;
+  auto res = gradcheck(
+      [&] { return sum_all(square(ab.forward(th))); }, {th}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AngularBasis, ReferenceGradCheck) {
+  Rng rng(10);
+  AngularBasis ab(9, false);
+  Var th = random_theta(8, rng, true);
+  GradCheckOptions opt;
+  auto res = gradcheck(
+      [&] { return sum_all(square(ab.forward(th))); }, {th}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AngularBasis, FusedDoubleBackward) {
+  Rng rng(11);
+  AngularBasis ab(7, true);
+  Var th = random_theta(5, rng, true);
+  GradCheckOptions opt;
+  opt.rtol = 8e-2f;
+  auto res = gradcheck_double(
+      [&] { return sum_all(square(ab.forward(th))); }, {th}, opt);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+}  // namespace
+}  // namespace fastchg::basis

@@ -1,0 +1,251 @@
+// Tests for charge inference from magmoms (CHGNet's charge-informed
+// post-processing) and for the MD observables (RDF, MSD) and thermostats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chgnet/charge.hpp"
+#include "md/md.hpp"
+#include "md/observables.hpp"
+
+namespace fastchg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// charge inference
+// ---------------------------------------------------------------------------
+
+TEST(ChargeStates, DeterministicCatalog) {
+  for (index_t z = 1; z <= 89; ++z) {
+    auto a = model::charge_states(z);
+    auto b = model::charge_states(z);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GE(a.size(), 2u);
+    ASSERT_LE(a.size(), 4u);
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      EXPECT_EQ(a[s].oxidation, b[s].oxidation);
+      EXPECT_GE(a[s].expected_magmom, 0.0);
+    }
+    // Oxidation states are distinct and ordered.
+    for (std::size_t s = 1; s < a.size(); ++s) {
+      EXPECT_GT(a[s].oxidation, a[s - 1].oxidation);
+    }
+  }
+}
+
+TEST(ChargeInference, PicksNearestStateForExactMoments) {
+  // Give each atom exactly the moment of one catalog state; without a
+  // neutrality conflict the assignment must reproduce those states.
+  std::vector<index_t> species{25, 25, 8};
+  std::vector<double> magmoms;
+  std::vector<int> expect;
+  int total = 0;
+  for (index_t z : species) {
+    auto states = model::charge_states(z);
+    magmoms.push_back(states[0].expected_magmom);
+    expect.push_back(states[0].oxidation);
+    total += states[0].oxidation;
+  }
+  auto res = model::infer_charges(species, magmoms);
+  if (total == 0) {
+    EXPECT_EQ(res.oxidation, expect);
+    EXPECT_NEAR(res.penalty, 0.0, 1e-12);
+  } else {
+    // Neutrality repair may move some atoms, but never below zero penalty.
+    EXPECT_GE(res.penalty, 0.0);
+  }
+}
+
+TEST(ChargeInference, NeutralityRepairReachesZeroWhenPossible) {
+  // Two atoms of a species whose catalog spans at least two states with
+  // opposite-signed adjustments: build a mix that can cancel.
+  // Species 11 and 17 chosen arbitrarily; we synthesize moments far from
+  // any state so the repair is driven by charge alone.
+  std::vector<index_t> species;
+  std::vector<double> magmoms;
+  for (int rep = 0; rep < 6; ++rep) {
+    species.push_back(11);
+    magmoms.push_back(0.7);
+    species.push_back(17);
+    magmoms.push_back(0.3);
+  }
+  auto res = model::infer_charges(species, magmoms);
+  // The greedy repair must never increase |total| and must terminate.
+  EXPECT_LE(std::abs(res.total_charge), 12);
+  if (res.neutral) {
+    EXPECT_EQ(res.total_charge, 0);
+  }
+}
+
+TEST(ChargeInference, SizesMustMatch) {
+  EXPECT_THROW(model::infer_charges({1, 2}, {0.5}), Error);
+}
+
+TEST(ChargeInference, PenaltyReflectsDeviation) {
+  std::vector<index_t> species{30};
+  auto states = model::charge_states(30);
+  // Moment halfway off the best state: penalty equals that deviation when
+  // no repair is needed or possible toward neutrality improvement.
+  const double m = states[0].expected_magmom + 0.05;
+  auto res = model::infer_charges(species, {m});
+  EXPECT_GE(res.penalty, 0.049);
+}
+
+// ---------------------------------------------------------------------------
+// observables
+// ---------------------------------------------------------------------------
+
+using md::RdfAccumulator;
+using md::MsdTracker;
+
+TEST(Rdf, IdealGasIsFlat) {
+  // Many random uniform snapshots: g(r) ~ 1 away from r=0.
+  Rng rng(21);
+  RdfAccumulator rdf(4.0, 8);
+  for (int snap = 0; snap < 24; ++snap) {
+    data::Crystal c;
+    c.lattice = {{{12, 0, 0}, {0, 12, 0}, {0, 0, 12}}};
+    for (int i = 0; i < 40; ++i) {
+      c.frac.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+      c.species.push_back(1);
+    }
+    rdf.add_snapshot(c);
+  }
+  auto g = rdf.g();
+  // Beyond the first bin the gas is uncorrelated: g in [0.6, 1.4].
+  for (std::size_t b = 2; b < g.size(); ++b) {
+    EXPECT_GT(g[b], 0.6) << "bin " << b;
+    EXPECT_LT(g[b], 1.4) << "bin " << b;
+  }
+}
+
+TEST(Rdf, CrystalPeakAtLatticeSpacing) {
+  // Simple cubic, a = 3: strong peak in the bin containing r = 3.
+  data::Crystal c;
+  c.lattice = {{{12, 0, 0}, {0, 12, 0}, {0, 0, 12}}};
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z) {
+        c.frac.push_back({x / 4.0, y / 4.0, z / 4.0});
+        c.species.push_back(6);
+      }
+  RdfAccumulator rdf(4.0, 16);
+  rdf.add_snapshot(c);
+  auto g = rdf.g();
+  const auto peak_bin = static_cast<std::size_t>(3.0 / (4.0 / 16.0));
+  double max_g = 0;
+  std::size_t max_bin = 0;
+  for (std::size_t b = 0; b < g.size(); ++b) {
+    if (g[b] > max_g) {
+      max_g = g[b];
+      max_bin = b;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(max_bin), static_cast<double>(peak_bin),
+              1.0);
+  EXPECT_GT(max_g, 3.0);  // sharply peaked vs ideal gas
+}
+
+TEST(Msd, StationaryAtomsHaveZeroMsd) {
+  Rng rng(22);
+  data::GeneratorConfig g;
+  g.min_atoms = 4;
+  g.max_atoms = 6;
+  data::Crystal c = data::random_crystal(rng, g);
+  MsdTracker msd(c);
+  msd.update(c);
+  msd.update(c);
+  EXPECT_DOUBLE_EQ(msd.msd(), 0.0);
+}
+
+TEST(Msd, UnwrapsAcrossPeriodicBoundary) {
+  data::Crystal c;
+  c.lattice = {{{10, 0, 0}, {0, 10, 0}, {0, 0, 10}}};
+  c.frac = {{0.95, 0.5, 0.5}};
+  c.species = {1};
+  MsdTracker msd(c);
+  // Move +0.1 fractional (crossing the boundary to 0.05): displacement must
+  // be +1 A, not -9 A.
+  data::Crystal c2 = c;
+  c2.frac[0][0] = 0.05;
+  msd.update(c2);
+  EXPECT_NEAR(msd.msd(), 1.0, 1e-9);
+  // Keep walking in the same direction; distances accumulate.
+  data::Crystal c3 = c2;
+  c3.frac[0][0] = 0.15;
+  msd.update(c3);
+  EXPECT_NEAR(msd.msd(), 4.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// thermostats
+// ---------------------------------------------------------------------------
+
+model::ModelConfig tiny_cfg() {
+  model::ModelConfig cfg = model::ModelConfig::fast();
+  cfg.feat_dim = 8;
+  cfg.num_radial = 5;
+  cfg.num_angular = 5;
+  cfg.num_layers = 1;
+  return cfg;
+}
+
+data::Crystal md_crystal(std::uint64_t seed) {
+  Rng rng(seed);
+  data::GeneratorConfig g;
+  g.min_atoms = 6;
+  g.max_atoms = 8;
+  return data::random_crystal(rng, g);
+}
+
+TEST(Thermostat, BerendsenPullsTemperatureTowardTarget) {
+  model::CHGNet net(tiny_cfg(), 31);
+  md::MDConfig cfg;
+  cfg.dt_fs = 0.5;
+  cfg.init_temperature_k = 900.0;  // start hot
+  cfg.ensemble = md::Ensemble::kNVTBerendsen;
+  cfg.target_temperature_k = 300.0;
+  cfg.tau_fs = 5.0;  // strong coupling for a short test
+  md::MDSimulator sim(net, md_crystal(41), cfg);
+  const double t_start = sim.temperature();
+  sim.step(30);
+  const double t_end = sim.temperature();
+  EXPECT_LT(std::fabs(t_end - 300.0), std::fabs(t_start - 300.0));
+}
+
+TEST(Thermostat, LangevinEquilibratesNearTarget) {
+  model::CHGNet net(tiny_cfg(), 32);
+  md::MDConfig cfg;
+  cfg.dt_fs = 0.5;
+  cfg.init_temperature_k = 20.0;  // start cold
+  cfg.ensemble = md::Ensemble::kNVTLangevin;
+  cfg.target_temperature_k = 500.0;
+  cfg.friction_fs = 0.5;  // strong coupling
+  md::MDSimulator sim(net, md_crystal(42), cfg);
+  sim.step(40);
+  // Average over a few more steps to smooth instantaneous fluctuations.
+  double t_acc = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    sim.step(2);
+    t_acc += sim.temperature();
+  }
+  const double t_mean = t_acc / 10.0;
+  EXPECT_GT(t_mean, 150.0);
+  EXPECT_LT(t_mean, 1200.0);
+}
+
+TEST(Thermostat, NVEDoesNotRescale) {
+  model::CHGNet net(tiny_cfg(), 33);
+  md::MDConfig nve;
+  nve.dt_fs = 0.25;
+  nve.ensemble = md::Ensemble::kNVE;
+  md::MDSimulator sim(net, md_crystal(43), nve);
+  const double e0 = sim.total_energy();
+  sim.step(10);
+  // NVE: energy approximately conserved (loose bound; tiny random model).
+  EXPECT_NEAR(sim.total_energy(), e0,
+              0.1 * std::max(1.0, std::fabs(e0)));
+}
+
+}  // namespace
+}  // namespace fastchg

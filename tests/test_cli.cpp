@@ -1,0 +1,85 @@
+// End-to-end smoke tests of the `fastchgnet` CLI binary: every subcommand
+// must run to completion with exit code 0 and produce its expected output
+// markers; unknown commands and bad inputs must fail cleanly.
+// The binary path is injected by CMake as FASTCHG_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef FASTCHG_CLI_PATH
+#define FASTCHG_CLI_PATH "fastchgnet"
+#endif
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(FASTCHG_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  CliResult res;
+  if (pipe == nullptr) return res;
+  std::array<char, 512> buf{};
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    res.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+TEST(Cli, InfoRunsAndReportsParams) {
+  CliResult r = run_cli("info");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FastCHGNet"), std::string::npos);
+  EXPECT_NE(r.output.find("params"), std::string::npos);
+}
+
+TEST(Cli, GenerateReportsDistribution) {
+  CliResult r = run_cli("generate --n 32 --seed 5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("mean atoms"), std::string::npos);
+  EXPECT_NE(r.output.find("long tail"), std::string::npos);
+}
+
+TEST(Cli, TrainTinyRunEmitsMetrics) {
+  CliResult r = run_cli("train --n 24 --epochs 1 --width 8 --radial 5 "
+                        "--layers 1 --batch 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("test MAE"), std::string::npos);
+  EXPECT_NE(r.output.find("meV/atom"), std::string::npos);
+}
+
+TEST(Cli, MdRunsSteps) {
+  CliResult r = run_cli("md --crystal LiMnO2 --steps 5 --width 8 --radial 5 "
+                        "--layers 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("E_tot(eV)"), std::string::npos);
+  EXPECT_NE(r.output.find("g(r) peak"), std::string::npos);
+}
+
+TEST(Cli, ChargesReportNeutrality) {
+  CliResult r = run_cli("charges --seed 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("oxidation"), std::string::npos);
+  EXPECT_NE(r.output.find("total charge"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFailsWithUsage) {
+  CliResult r = run_cli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, BadCrystalNameFailsCleanly) {
+  CliResult r = run_cli("md --crystal NotACrystal --steps 1");
+  EXPECT_EQ(r.exit_code, 2);  // fastchg::Error path
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

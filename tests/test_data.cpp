@@ -1,0 +1,475 @@
+// Tests for the data substrate: crystal math, neighbour lists under PBC,
+// graph construction, the synthetic-DFT oracle (force/stress consistency
+// property tests), the generator's long-tail distribution, and batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/batch.hpp"
+#include "data/dataset.hpp"
+#include "data/generator.hpp"
+#include "data/graph.hpp"
+#include "data/neighbor.hpp"
+#include "data/oracle.hpp"
+
+namespace fastchg::data {
+namespace {
+
+Crystal cubic_crystal(double a, const std::vector<Vec3>& frac,
+                      const std::vector<index_t>& species) {
+  Crystal c;
+  c.lattice = {{{a, 0, 0}, {0, a, 0}, {0, 0, a}}};
+  c.frac = frac;
+  c.species = species;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// crystal math
+// ---------------------------------------------------------------------------
+
+TEST(CrystalMath, VolumeAndCart) {
+  Crystal c = cubic_crystal(4.0, {{0.5, 0.5, 0.5}}, {3});
+  EXPECT_DOUBLE_EQ(c.volume(), 64.0);
+  const Vec3 r = c.cart()[0];
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+}
+
+TEST(CrystalMath, InverseRoundTrip) {
+  Mat3 m = {{{3.0, 0.2, 0.1}, {0.0, 2.5, 0.3}, {0.4, 0.0, 4.0}}};
+  Mat3 inv = inv3(m);
+  Mat3 id = mat_mul(m, inv);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(id[i][j], i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(CrystalMath, CrossAndDot) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(cross(x, y), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// neighbour list
+// ---------------------------------------------------------------------------
+
+TEST(NeighborList, SimpleCubicCoordination) {
+  // Simple cubic, a = 3: each atom has 6 first neighbours at distance 3.
+  Crystal c = cubic_crystal(3.0, {{0, 0, 0}}, {11});
+  NeighborList nl = build_neighbor_list(c, 3.1);
+  EXPECT_EQ(nl.size(), 6);
+  for (double d : nl.dist) EXPECT_NEAR(d, 3.0, 1e-9);
+}
+
+TEST(NeighborList, SecondShellIncluded) {
+  Crystal c = cubic_crystal(3.0, {{0, 0, 0}}, {11});
+  // sqrt(2)*3 = 4.243: 6 first + 12 second neighbours.
+  NeighborList nl = build_neighbor_list(c, 4.3);
+  EXPECT_EQ(nl.size(), 18);
+}
+
+TEST(NeighborList, DirectedSymmetry) {
+  Rng rng(5);
+  Crystal c = random_crystal(rng);
+  NeighborList nl = build_neighbor_list(c, 4.0);
+  // Every directed edge (i,j,n) must have its reverse (j,i,-n).
+  std::multiset<std::tuple<index_t, index_t, int, int, int>> edges;
+  for (index_t e = 0; e < nl.size(); ++e) {
+    edges.insert({nl.src[e], nl.dst[e], static_cast<int>(nl.image[e][0]),
+                  static_cast<int>(nl.image[e][1]),
+                  static_cast<int>(nl.image[e][2])});
+  }
+  for (index_t e = 0; e < nl.size(); ++e) {
+    auto rev = std::make_tuple(nl.dst[e], nl.src[e],
+                               -static_cast<int>(nl.image[e][0]),
+                               -static_cast<int>(nl.image[e][1]),
+                               -static_cast<int>(nl.image[e][2]));
+    EXPECT_TRUE(edges.count(rev) > 0) << "missing reverse of edge " << e;
+  }
+}
+
+TEST(NeighborList, SkewedCellImageRange) {
+  Mat3 lat = {{{10, 0, 0}, {9, 2, 0}, {0, 0, 10}}};  // strongly sheared
+  auto r = image_search_range(lat, 4.0);
+  // Plane spacing along b is only 2 A, so >= 2 images are required there.
+  EXPECT_GE(r[1], 2);
+}
+
+TEST(NeighborList, RijMatchesDist) {
+  Rng rng(6);
+  Crystal c = random_crystal(rng);
+  NeighborList nl = build_neighbor_list(c, 5.0);
+  for (index_t e = 0; e < nl.size(); ++e) {
+    EXPECT_NEAR(norm(nl.rij[e]), nl.dist[e], 1e-9);
+  }
+}
+
+
+TEST(CellList, ApplicabilityRule) {
+  Mat3 small = {{{8, 0, 0}, {0, 8, 0}, {0, 0, 8}}};
+  Mat3 big = {{{20, 0, 0}, {0, 20, 0}, {0, 0, 20}}};
+  EXPECT_FALSE(cell_list_applicable(small, 3.0));
+  EXPECT_TRUE(cell_list_applicable(big, 3.0));
+  Crystal c = cubic_crystal(8.0, {{0, 0, 0}}, {11});
+  EXPECT_THROW(build_neighbor_list_cell(c, 3.0), Error);
+}
+
+class CellListEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CellListEquivalence, MatchesBruteForceOnSupercell) {
+  Rng rng(GetParam());
+  GeneratorConfig gcfg;
+  gcfg.min_atoms = 4;
+  gcfg.max_atoms = 8;
+  Crystal base = random_crystal(rng, gcfg);
+  Crystal super = make_supercell(base, 4, 4, 4);  // plenty wide for 3A cells
+  const double cutoff = 3.0;
+  ASSERT_TRUE(cell_list_applicable(super.lattice, cutoff));
+  NeighborList brute = build_neighbor_list(super, cutoff);
+  NeighborList cell = build_neighbor_list_cell(super, cutoff);
+  ASSERT_EQ(brute.size(), cell.size());
+  // Same multiset of directed (src, dst, image) edges.
+  auto key_set = [](const NeighborList& nl) {
+    std::multiset<std::tuple<index_t, index_t, int, int, int>> keys;
+    for (index_t e = 0; e < nl.size(); ++e) {
+      keys.insert({nl.src[e], nl.dst[e], static_cast<int>(nl.image[e][0]),
+                   static_cast<int>(nl.image[e][1]),
+                   static_cast<int>(nl.image[e][2])});
+    }
+    return keys;
+  };
+  EXPECT_TRUE(key_set(brute) == key_set(cell));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellListEquivalence,
+                         ::testing::Values(71, 72, 73));
+
+TEST(CellList, AutoDispatch) {
+  Rng rng(74);
+  GeneratorConfig gcfg;
+  gcfg.min_atoms = 4;
+  gcfg.max_atoms = 6;
+  Crystal base = random_crystal(rng, gcfg);
+  // Small cell -> brute force path must be taken without throwing.
+  NeighborList a = build_neighbor_list_auto(base, 5.0);
+  EXPECT_GT(a.size(), 0);
+  Crystal super = make_supercell(base, 5, 5, 5);
+  NeighborList b = build_neighbor_list_auto(super, 2.5);
+  EXPECT_GT(b.size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// graph construction
+// ---------------------------------------------------------------------------
+
+TEST(Graph, AnglesShareCentralAtomAndAreShort) {
+  Rng rng(7);
+  Crystal c = random_crystal(rng);
+  GraphConfig cfg;
+  GraphData g = build_graph(c, cfg);
+  for (std::size_t a = 0; a < g.angle_e1.size(); ++a) {
+    const auto e1 = static_cast<std::size_t>(g.angle_e1[a]);
+    const auto e2 = static_cast<std::size_t>(g.angle_e2[a]);
+    EXPECT_EQ(g.edge_src[e1], g.edge_src[e2]);
+    EXPECT_NE(g.angle_e1[a], g.angle_e2[a]);
+    EXPECT_LE(g.edge_dist[e1], cfg.bond_cutoff);
+    EXPECT_LE(g.edge_dist[e2], cfg.bond_cutoff);
+  }
+}
+
+TEST(Graph, AngleCountMatchesDegreeFormula) {
+  Rng rng(8);
+  Crystal c = random_crystal(rng);
+  GraphData g = build_graph(c, {});
+  std::vector<index_t> deg(static_cast<std::size_t>(g.num_atoms), 0);
+  for (index_t e : g.short_edges) {
+    deg[static_cast<std::size_t>(g.edge_src[static_cast<std::size_t>(e)])]++;
+  }
+  index_t expect = 0;
+  for (index_t d : deg) expect += d * (d - 1);
+  EXPECT_EQ(g.num_angles(), expect);
+}
+
+TEST(Graph, FeatureNumberSums) {
+  Rng rng(9);
+  Crystal c = random_crystal(rng);
+  GraphData g = build_graph(c, {});
+  EXPECT_EQ(g.feature_number(),
+            g.num_atoms + g.num_edges() + g.num_angles());
+}
+
+// ---------------------------------------------------------------------------
+// oracle: energy/force/stress consistency (property tests)
+// ---------------------------------------------------------------------------
+
+class OracleConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleConsistency, ForcesMatchFiniteDifference) {
+  Rng rng(GetParam());
+  GeneratorConfig gcfg;
+  gcfg.min_atoms = 4;
+  gcfg.max_atoms = 8;
+  Crystal c = random_crystal(rng, gcfg);
+  Oracle oracle;
+  auto res = oracle.evaluate(c);
+  const Mat3 lat_inv = inv3(c.lattice);
+  const double h = 1e-5;
+  for (index_t atom = 0; atom < std::min<index_t>(c.natoms(), 3); ++atom) {
+    for (int d = 0; d < 3; ++d) {
+      // displace atom in cartesian direction d by +-h
+      Vec3 dr{};
+      dr[d] = h;
+      const Vec3 df = mat_vec(lat_inv, dr);
+      Crystal cp = c, cm = c;
+      for (int k = 0; k < 3; ++k) {
+        cp.frac[static_cast<std::size_t>(atom)][k] += df[k];
+        cm.frac[static_cast<std::size_t>(atom)][k] -= df[k];
+      }
+      const double fd =
+          -(oracle.energy_only(cp) - oracle.energy_only(cm)) / (2 * h);
+      EXPECT_NEAR(res.forces[static_cast<std::size_t>(atom)][d], fd, 1e-4)
+          << "atom " << atom << " dir " << d;
+    }
+  }
+}
+
+TEST_P(OracleConsistency, StressMatchesStrainDerivative) {
+  Rng rng(GetParam() + 100);
+  GeneratorConfig gcfg;
+  gcfg.min_atoms = 4;
+  gcfg.max_atoms = 8;
+  Crystal c = random_crystal(rng, gcfg);
+  Oracle oracle;
+  auto res = oracle.evaluate(c);
+  const double vol = c.volume();
+  const double h = 1e-5;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      auto strained = [&](double eps) {
+        Mat3 defo = {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+        defo[a][b] += eps;
+        Crystal cs = c;
+        cs.lattice = mat_mul(c.lattice, defo);
+        return oracle.energy_only(cs);
+      };
+      const double fd = (strained(h) - strained(-h)) / (2 * h) / vol;
+      EXPECT_NEAR(res.stress[a][b], fd, 1e-5) << "component " << a << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleConsistency,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Oracle, TranslationInvariance) {
+  Rng rng(12);
+  Crystal c = random_crystal(rng);
+  Oracle oracle;
+  const double e0 = oracle.energy_only(c);
+  Crystal shifted = c;
+  for (auto& f : shifted.frac) {
+    f[0] += 0.31;
+    f[1] += 0.17;
+    f[2] += 0.53;
+  }
+  EXPECT_NEAR(oracle.energy_only(shifted), e0, 1e-9);
+}
+
+TEST(Oracle, ForcesSumToZero) {
+  Rng rng(13);
+  Crystal c = random_crystal(rng);
+  Oracle oracle;
+  auto res = oracle.evaluate(c);
+  Vec3 total{};
+  for (const Vec3& f : res.forces) {
+    for (int d = 0; d < 3; ++d) total[d] += f[d];
+  }
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(total[d], 0.0, 1e-9);
+}
+
+TEST(Oracle, StressIsSymmetric) {
+  Rng rng(14);
+  Crystal c = random_crystal(rng);
+  Oracle oracle;
+  auto res = oracle.evaluate(c);
+  for (int a = 0; a < 3; ++a)
+    for (int b = a + 1; b < 3; ++b)
+      EXPECT_NEAR(res.stress[a][b], res.stress[b][a], 1e-9);
+}
+
+TEST(Oracle, MagmomInRange) {
+  Rng rng(15);
+  Crystal c = random_crystal(rng);
+  Oracle oracle;
+  auto res = oracle.evaluate(c);
+  for (double m : res.magmom) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 2.0);
+  }
+}
+
+TEST(Oracle, SpeciesParamsDeterministicAndBounded) {
+  for (index_t z = 1; z <= 89; ++z) {
+    SpeciesParams a = species_params(z), b = species_params(z);
+    EXPECT_EQ(a.r0, b.r0);
+    EXPECT_GT(a.d, 0.0);
+    EXPECT_GT(a.r0, 1.0);
+    EXPECT_LT(a.r0, 3.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// generator
+// ---------------------------------------------------------------------------
+
+TEST(Generator, RespectsAtomBounds) {
+  Rng rng(16);
+  GeneratorConfig cfg;
+  for (int i = 0; i < 50; ++i) {
+    Crystal c = random_crystal(rng, cfg);
+    EXPECT_GE(c.natoms(), cfg.min_atoms);
+    EXPECT_LE(c.natoms(), cfg.max_atoms);
+    EXPECT_EQ(c.species.size(), c.frac.size());
+    for (index_t z : c.species) {
+      EXPECT_GE(z, 1);
+      EXPECT_LE(z, cfg.num_species);
+    }
+  }
+}
+
+TEST(Generator, LongTailDistribution) {
+  Rng rng(17);
+  std::vector<index_t> counts;
+  for (int i = 0; i < 400; ++i) {
+    counts.push_back(random_crystal(rng).natoms());
+  }
+  double mean = 0;
+  for (index_t n : counts) mean += static_cast<double>(n);
+  mean /= static_cast<double>(counts.size());
+  index_t above_2x = 0;
+  for (index_t n : counts) {
+    if (static_cast<double>(n) > 2 * mean) above_2x++;
+  }
+  // Long tail: a visible fraction of samples sits far above the mean, but
+  // the median stays below it.
+  EXPECT_GT(above_2x, 10);
+  std::sort(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(counts[counts.size() / 2]), mean + 1);
+}
+
+TEST(Generator, ReferenceStructuresStoichiometry) {
+  Crystal limn = make_reference_structure("LiMnO2");
+  EXPECT_EQ(limn.natoms(), 8);
+  Crystal litipo = make_reference_structure("LiTiPO5");
+  EXPECT_EQ(litipo.natoms(), 32);
+  Crystal lico = make_reference_structure("Li9Co7O16");
+  EXPECT_EQ(lico.natoms(), 32);
+  // Table II ordering: feature numbers strictly increasing.
+  GraphData g1 = build_graph(limn, {});
+  GraphData g2 = build_graph(litipo, {});
+  GraphData g3 = build_graph(lico, {});
+  EXPECT_LT(g1.feature_number(), g2.feature_number());
+  EXPECT_LT(g2.feature_number(), g3.feature_number());
+  EXPECT_THROW(make_reference_structure("bogus"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// dataset + batching
+// ---------------------------------------------------------------------------
+
+TEST(Dataset, GenerateAndSplitFractions) {
+  Dataset ds = Dataset::generate(40, 123);
+  EXPECT_EQ(ds.size(), 40);
+  auto split = ds.split(0.05, 0.05, 7);
+  EXPECT_EQ(split.val.size(), 2u);
+  EXPECT_EQ(split.test.size(), 2u);
+  EXPECT_EQ(split.train.size(), 36u);
+  // Disjoint and complete.
+  std::set<index_t> all;
+  for (auto& v : {split.train, split.val, split.test})
+    for (index_t i : v) all.insert(i);
+  EXPECT_EQ(all.size(), 40u);
+}
+
+TEST(Dataset, LabelsPopulated) {
+  Dataset ds = Dataset::generate(5, 9);
+  for (index_t i = 0; i < ds.size(); ++i) {
+    const Crystal& c = ds[i].crystal;
+    EXPECT_NE(c.energy, 0.0);
+    EXPECT_EQ(c.forces.size(), c.frac.size());
+    EXPECT_EQ(c.magmom.size(), c.frac.size());
+  }
+}
+
+TEST(Dataset, DistributionStats) {
+  Dataset ds = Dataset::generate(60, 10);
+  auto st = ds.distribution(10);
+  EXPECT_GT(st.mean_bonds, st.mean_atoms);
+  EXPECT_GT(st.mean_angles, 0.0);
+  index_t total = 0;
+  for (index_t c : st.atoms.counts) total += c;
+  EXPECT_EQ(total, 60);
+}
+
+TEST(Batch, OffsetsAndSizes) {
+  Dataset ds = Dataset::generate(6, 11);
+  Batch b = collate_indices(ds, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(b.num_structs, 6);
+  index_t atoms = 0, edges = 0, angles = 0;
+  for (index_t i = 0; i < 6; ++i) {
+    atoms += ds[i].graph.num_atoms;
+    edges += ds[i].graph.num_edges();
+    angles += ds[i].graph.num_angles();
+  }
+  EXPECT_EQ(b.num_atoms, atoms);
+  EXPECT_EQ(b.num_edges, edges);
+  EXPECT_EQ(b.num_angles, angles);
+  EXPECT_EQ(b.cart.shape(), (Shape{atoms, 3}));
+  EXPECT_EQ(b.stress.shape(), (Shape{6, 9}));
+  // Edge indices in range and pointing to the owning structure's atoms.
+  for (index_t e = 0; e < b.num_edges; ++e) {
+    const index_t s = b.edge_struct[static_cast<std::size_t>(e)];
+    EXPECT_GE(b.edge_src[static_cast<std::size_t>(e)], b.atom_first[s]);
+    EXPECT_LT(b.edge_src[static_cast<std::size_t>(e)], b.atom_first[s + 1]);
+  }
+  // Angle edge indices live inside the owning structure's edge range.
+  for (std::size_t a = 0; a < b.angle_e1.size(); ++a) {
+    EXPECT_LT(b.angle_e1[a], b.num_edges);
+    EXPECT_LT(b.angle_e2[a], b.num_edges);
+  }
+}
+
+TEST(Batch, BlockDiagonalImageMatrix) {
+  Dataset ds = Dataset::generate(3, 12);
+  Batch b = collate_indices(ds, {0, 1, 2});
+  EXPECT_EQ(b.image_blockdiag.shape(), (Shape{b.num_edges, 9}));
+  // Nonzero entries only inside the owning structure's 3-column block.
+  const float* p = b.image_blockdiag.data();
+  for (index_t e = 0; e < b.num_edges; ++e) {
+    const index_t s = b.edge_struct[static_cast<std::size_t>(e)];
+    for (index_t col = 0; col < 9; ++col) {
+      if (col < 3 * s || col >= 3 * s + 3) {
+        EXPECT_EQ(p[e * 9 + col], 0.0f);
+      }
+    }
+    // The in-block entries equal the edge image.
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(p[e * 9 + 3 * s + d], b.edge_image.data()[e * 3 + d]);
+    }
+  }
+}
+
+TEST(Batch, EnergyPerAtomLabel) {
+  Dataset ds = Dataset::generate(2, 13);
+  Batch b = collate_indices(ds, {0, 1});
+  for (index_t s = 0; s < 2; ++s) {
+    const double expect =
+        ds[s].crystal.energy / static_cast<double>(ds[s].crystal.natoms());
+    EXPECT_NEAR(b.energy_per_atom.data()[s], expect, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace fastchg::data

@@ -1,0 +1,298 @@
+// Tests for the extension features: checkpoint save/load, the threaded
+// prefetch loader, gradient bucketing, int8 inference quantization, and the
+// perf timing utilities.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "fastchgnet.hpp"
+#include "fastchgnet/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "parallel/bucketing.hpp"
+#include "data/dataset_io.hpp"
+#include "data/prefetch.hpp"
+#include "perf/timer.hpp"
+#include "train/metrics.hpp"
+
+namespace fastchg {
+namespace {
+
+model::ModelConfig tiny_cfg() {
+  model::ModelConfig cfg = model::ModelConfig::fast();
+  cfg.feat_dim = 8;
+  cfg.num_radial = 5;
+  cfg.num_angular = 5;
+  cfg.num_layers = 1;
+  return cfg;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  model::CHGNet a(tiny_cfg(), 1), b(tiny_cfg(), 2);
+  const std::string path = temp_path("fastchg_ckpt_roundtrip.bin");
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  auto pa = a.named_parameters();
+  auto pb = b.named_parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].second.value().to_vector(),
+              pb[i].second.value().to_vector())
+        << pa[i].first;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, PredictionsSurviveRoundTrip) {
+  data::Dataset ds = data::Dataset::generate(2, 3);
+  data::Batch batch = data::collate_indices(ds, {0, 1});
+  model::CHGNet a(tiny_cfg(), 4), b(tiny_cfg(), 5);
+  const std::string path = temp_path("fastchg_ckpt_pred.bin");
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  auto oa = a.forward(batch, model::ForwardMode::kEval);
+  auto ob = b.forward(batch, model::ForwardMode::kEval);
+  EXPECT_EQ(oa.energy_per_atom.value().to_vector(),
+            ob.energy_per_atom.value().to_vector());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsStructuralMismatch) {
+  model::CHGNet a(tiny_cfg(), 6);
+  model::ModelConfig other = tiny_cfg();
+  other.feat_dim = 12;
+  model::CHGNet b(other, 7);
+  const std::string path = temp_path("fastchg_ckpt_mismatch.bin");
+  nn::save_parameters(a, path);
+  EXPECT_THROW(nn::load_parameters(b, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = temp_path("fastchg_ckpt_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  model::CHGNet a(tiny_cfg(), 8);
+  EXPECT_THROW(nn::load_parameters(a, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  model::CHGNet a(tiny_cfg(), 9);
+  EXPECT_THROW(nn::load_parameters(a, "/nonexistent/dir/ckpt.bin"), Error);
+}
+
+
+// ---------------------------------------------------------------------------
+// dataset caching
+// ---------------------------------------------------------------------------
+
+TEST(DatasetIo, RoundTripPreservesLabelsAndGraphs) {
+  data::Dataset ds = data::Dataset::generate(6, 77);
+  const std::string path = temp_path("fastchg_dataset.bin");
+  data::save_dataset(ds, path);
+  data::Dataset loaded = data::load_dataset(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (index_t i = 0; i < ds.size(); ++i) {
+    const data::Crystal& a = ds[i].crystal;
+    const data::Crystal& b = loaded[i].crystal;
+    EXPECT_EQ(a.species, b.species);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    for (index_t atom = 0; atom < a.natoms(); ++atom) {
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_DOUBLE_EQ(a.frac[atom][d], b.frac[atom][d]);
+        EXPECT_DOUBLE_EQ(a.forces[atom][d], b.forces[atom][d]);
+      }
+    }
+    // Graphs rebuilt deterministically.
+    EXPECT_EQ(ds[i].graph.num_edges(), loaded[i].graph.num_edges());
+    EXPECT_EQ(ds[i].graph.num_angles(), loaded[i].graph.num_angles());
+  }
+  EXPECT_DOUBLE_EQ(loaded.graph_config().atom_cutoff,
+                   ds.graph_config().atom_cutoff);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetIo, RejectsGarbage) {
+  const std::string path = temp_path("fastchg_dataset_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("junk", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(data::load_dataset(path), Error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(data::load_dataset("/no/such/file.bin"), Error);
+}
+
+TEST(DatasetIo, TrainingOnLoadedDatasetMatches) {
+  data::Dataset ds = data::Dataset::generate(8, 78);
+  const std::string path = temp_path("fastchg_dataset_train.bin");
+  data::save_dataset(ds, path);
+  data::Dataset loaded = data::load_dataset(path);
+  data::Batch a = data::collate_indices(ds, {0, 1, 2, 3});
+  data::Batch b = data::collate_indices(loaded, {0, 1, 2, 3});
+  EXPECT_EQ(a.cart.to_vector(), b.cart.to_vector());
+  EXPECT_EQ(a.energy_per_atom.to_vector(), b.energy_per_atom.to_vector());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// prefetch
+// ---------------------------------------------------------------------------
+
+TEST(Prefetch, DeliversAllBatchesInOrder) {
+  data::Dataset ds = data::Dataset::generate(12, 10);
+  std::vector<std::vector<index_t>> plan = {
+      {0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}};
+  data::PrefetchLoader loader(ds, plan, /*depth=*/2);
+  std::size_t count = 0;
+  while (auto b = loader.next()) {
+    // Batch i must contain exactly plan[i]'s structures.
+    EXPECT_EQ(b->num_structs, 3);
+    index_t atoms = 0;
+    for (index_t row : plan[count]) atoms += ds[row].graph.num_atoms;
+    EXPECT_EQ(b->num_atoms, atoms);
+    ++count;
+  }
+  EXPECT_EQ(count, plan.size());
+  EXPECT_FALSE(loader.next().has_value());  // exhausted stays exhausted
+}
+
+TEST(Prefetch, EmptyPlanTerminatesImmediately) {
+  data::Dataset ds = data::Dataset::generate(2, 11);
+  data::PrefetchLoader loader(ds, {}, 2);
+  EXPECT_FALSE(loader.next().has_value());
+}
+
+TEST(Prefetch, EarlyDestructionDoesNotHang) {
+  data::Dataset ds = data::Dataset::generate(16, 12);
+  std::vector<std::vector<index_t>> plan;
+  for (index_t i = 0; i < 16; ++i) plan.push_back({i});
+  {
+    data::PrefetchLoader loader(ds, plan, 1);
+    (void)loader.next();  // consume one, drop the rest
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// bucketing
+// ---------------------------------------------------------------------------
+
+TEST(Bucketing, CoversEveryParameterOnce) {
+  model::CHGNet net(tiny_cfg(), 13);
+  auto params = net.parameters();
+  auto buckets = parallel::make_gradient_buckets(params, 4096);
+  std::vector<int> seen(params.size(), 0);
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) {
+    for (std::size_t k : b.param_indices) seen[k]++;
+    total += b.bytes;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  EXPECT_EQ(total, tensor_bytes(net.num_parameters()));
+}
+
+TEST(Bucketing, RespectsTargetBytes) {
+  model::CHGNet net(tiny_cfg(), 14);
+  auto params = net.parameters();
+  const std::uint64_t target = 2048;
+  auto buckets = parallel::make_gradient_buckets(params, target);
+  for (const auto& b : buckets) {
+    if (b.param_indices.size() > 1) {
+      EXPECT_LE(b.bytes, target);
+    }
+  }
+  // Smaller targets mean at least as many buckets.
+  auto coarse = parallel::make_gradient_buckets(params, 1 << 20);
+  EXPECT_LE(coarse.size(), buckets.size());
+}
+
+TEST(Bucketing, ZeroTargetThrows) {
+  model::CHGNet net(tiny_cfg(), 15);
+  EXPECT_THROW(parallel::make_gradient_buckets(net.parameters(), 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// quantization
+// ---------------------------------------------------------------------------
+
+TEST(Quantize, TensorRoundTripBounds) {
+  Tensor t = Tensor::from_vector({0.5f, -1.0f, 0.01f, 1.0f}, {4});
+  float scale = 0.0f;
+  auto codes = model::quantize_tensor(t, scale);
+  EXPECT_EQ(codes.size(), 4u);
+  EXPECT_NEAR(scale, 1.0f / 127.0f, 1e-6f);
+  // Quantization error bounded by scale/2 per element.
+  EXPECT_NEAR(t.to_vector()[0], 0.5f, scale);
+  EXPECT_FLOAT_EQ(t.to_vector()[1], -1.0f);  // extremes are exact
+  EXPECT_FLOAT_EQ(t.to_vector()[3], 1.0f);
+}
+
+TEST(Quantize, ZeroTensorIsStable) {
+  Tensor t = Tensor::zeros({8});
+  float scale = 0.0f;
+  auto codes = model::quantize_tensor(t, scale);
+  for (auto c : codes) EXPECT_EQ(c, 0);
+  for (float v : t.to_vector()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, ModelReportAndBoundedAccuracyLoss) {
+  data::Dataset ds = data::Dataset::generate(8, 16);
+  std::vector<index_t> rows{0, 1, 2, 3, 4, 5, 6, 7};
+  model::CHGNet net(tiny_cfg(), 17);
+  train::EvalMetrics before = train::evaluate_model(net, ds, rows, 4);
+  model::QuantizationReport rep = model::quantize_for_inference(net);
+  train::EvalMetrics after = train::evaluate_model(net, ds, rows, 4);
+  EXPECT_EQ(rep.elements, net.num_parameters());
+  EXPECT_GT(rep.tensors, 10);
+  EXPECT_LT(rep.int8_bytes, rep.fp32_bytes / 3.5);  // ~4x compression
+  EXPECT_GT(rep.max_abs_error, 0.0);
+  // int8 weights perturb predictions but must not blow them up.
+  EXPECT_LT(after.energy_mae_mev_atom,
+            5.0 * before.energy_mae_mev_atom + 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// perf utilities
+// ---------------------------------------------------------------------------
+
+TEST(PerfTimer, TimingStatsMoments) {
+  perf::TimingStats st;
+  st.add(1.0);
+  st.add(2.0);
+  st.add(3.0);
+  EXPECT_EQ(st.count(), 3u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 3.0);
+  EXPECT_NEAR(st.stddev(), 1.0, 1e-12);
+  EXPECT_NEAR(st.cov(), 0.5, 1e-12);
+}
+
+TEST(PerfTimer, FormatSecondsRanges) {
+  EXPECT_EQ(perf::format_seconds(2.5e-6), "2.5 us");
+  EXPECT_EQ(perf::format_seconds(1.5e-2), "15.00 ms");
+  EXPECT_EQ(perf::format_seconds(2.0), "2.000 s");
+}
+
+TEST(PerfTimer, MonotoneElapsed) {
+  perf::Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace fastchg

@@ -1,0 +1,140 @@
+// Randomized autograd fuzzing: build seeded random expression graphs from a
+// safe op alphabet (mixing elementwise, broadcast, matmul, concat, slicing
+// and gather/scatter) and verify every one against numeric gradients --
+// first order on every graph, second order on the smaller ones.  This
+// catches op-composition bugs that per-op unit tests cannot (wrong
+// accumulation on diamond fan-out, broadcast-reduction mismatches, etc.).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "autograd/gradcheck.hpp"
+#include "nn/layernorm.hpp"
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+
+namespace fastchg::ag {
+namespace {
+
+using namespace ops;
+
+/// Grow a random graph over a pool of [4,3] nodes rooted at two leaves.
+/// All values stay O(1) and away from singular points by construction:
+/// inputs are in [0.4, 1.6] and the alphabet avoids division by small
+/// numbers and domain-edge functions.
+Var random_graph(Rng& rng, const std::vector<Var>& leaves, int depth) {
+  std::vector<Var> pool = leaves;
+  auto pick = [&]() -> const Var& {
+    return pool[static_cast<std::size_t>(
+        rng.randint(0, static_cast<index_t>(pool.size()) - 1))];
+  };
+  for (int step = 0; step < depth; ++step) {
+    const index_t choice = rng.randint(0, 10);
+    Var next;
+    switch (choice) {
+      case 0: next = add(pick(), pick()); break;
+      case 1: next = mul(pick(), pick()); break;
+      case 2: next = sub(pick(), pick()); break;
+      case 3: next = sigmoid(pick()); break;
+      case 4: next = silu(pick()); break;
+      case 5: next = mul_scalar(pick(), 0.7f); break;
+      case 6: {
+        // matmul with a fixed random [3,3] constant keeps shapes stable.
+        Tensor w = Tensor::empty({3, 3});
+        rng.fill_uniform(w, -0.6f, 0.6f);
+        next = matmul(pick(), constant(std::move(w)));
+        break;
+      }
+      case 7: {
+        // row gather + scatter back (the GNN message primitive).
+        std::vector<index_t> idx{3, 0, 2, 2, 1};
+        Var sel = index_select0(pick(), idx);
+        next = index_add0(4, {0, 1, 2, 3, 1}, sel);
+        break;
+      }
+      case 8: {
+        // split and re-concatenate with a twist.
+        const Var& x = pick();
+        next = cat({narrow(x, 1, 1, 2), narrow(x, 1, 0, 1)}, 1);
+        break;
+      }
+      case 9: {
+        // column-broadcast scaling by the row sums.
+        const Var& x = pick();
+        next = mul(x, mul_scalar(sum_dim(x, 1, true), 0.2f));
+        break;
+      }
+      default: {
+        // fused layer norm (custom kernel with op-composed backward).
+        Tensor gamma = Tensor::empty({3});
+        Tensor beta = Tensor::empty({3});
+        rng.fill_uniform(gamma, 0.5f, 1.5f);
+        rng.fill_uniform(beta, -0.3f, 0.3f);
+        next = nn::layernorm_fused(pick(), constant(std::move(gamma)),
+                                   constant(std::move(beta)), 1e-5f);
+        break;
+      }
+    }
+    pool.push_back(next);
+  }
+  return mean_all(square(pool.back()));
+}
+
+class AutogradFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutogradFuzz, FirstOrderGradientsMatchNumeric) {
+  Rng rng(GetParam());
+  std::vector<Var> leaves;
+  for (int i = 0; i < 2; ++i) {
+    Tensor t = Tensor::empty({4, 3});
+    rng.fill_uniform(t, 0.4f, 1.6f);
+    leaves.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  // The graph must be rebuilt identically inside the gradcheck lambda, so
+  // freeze the structure by pre-drawing the random choices via a fixed
+  // inner seed.
+  const std::uint64_t structure_seed = GetParam() * 31 + 7;
+  auto f = [&]() -> Var {
+    Rng inner(structure_seed);
+    return random_graph(inner, leaves, 8);
+  };
+  GradCheckOptions opt;
+  opt.max_per_leaf = 12;
+  // Deep random graphs (especially 3-wide layer norms) can be sharply
+  // curved; use a finer step than the default to keep truncation error of
+  // the central difference itself below the tolerance.
+  opt.eps = 2e-3f;
+  auto res = gradcheck(f, leaves, opt);
+  EXPECT_TRUE(res.ok) << "seed " << GetParam() << ": " << res.detail
+                      << " (abs " << res.max_abs_err << ", rel "
+                      << res.max_rel_err << ")";
+}
+
+TEST_P(AutogradFuzz, SecondOrderGradientsMatchNumeric) {
+  Rng rng(GetParam() + 1000);
+  std::vector<Var> leaves;
+  for (int i = 0; i < 2; ++i) {
+    Tensor t = Tensor::empty({4, 3});
+    rng.fill_uniform(t, 0.4f, 1.6f);
+    leaves.emplace_back(std::move(t), /*requires_grad=*/true);
+  }
+  const std::uint64_t structure_seed = GetParam() * 53 + 11;
+  auto f = [&]() -> Var {
+    Rng inner(structure_seed);
+    return random_graph(inner, leaves, 5);  // shallower for 2nd order cost
+  };
+  GradCheckOptions opt;
+  opt.max_per_leaf = 6;
+  opt.rtol = 8e-2f;
+  auto res = gradcheck_double(f, leaves, opt);
+  EXPECT_TRUE(res.ok) << "seed " << GetParam() << ": " << res.detail
+                      << " (abs " << res.max_abs_err << ", rel "
+                      << res.max_rel_err << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace fastchg::ag

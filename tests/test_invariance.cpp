@@ -1,0 +1,214 @@
+// Physics-invariance property suite for the full model, parameterized over
+// random seeds: translation invariance, periodic-wrap invariance, rotation
+// invariance/equivariance, permutation invariance, batch-composition
+// independence, size extensivity (supercell), and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chgnet/model.hpp"
+#include "data/batch.hpp"
+#include "data/dataset.hpp"
+
+namespace fastchg::model {
+namespace {
+
+using data::Crystal;
+using data::Dataset;
+
+ModelConfig tiny_cfg(bool decoupled = false) {
+  ModelConfig cfg;
+  cfg.feat_dim = 12;
+  cfg.num_radial = 7;
+  cfg.num_angular = 7;
+  cfg.num_layers = 2;
+  cfg.batched_basis = true;
+  cfg.decoupled_heads = decoupled;
+  return cfg;
+}
+
+Crystal random_structure(std::uint64_t seed) {
+  Rng rng(seed);
+  data::GeneratorConfig g;
+  g.min_atoms = 4;
+  g.max_atoms = 8;
+  return data::random_crystal(rng, g);
+}
+
+/// Model energies per atom for a single structure.
+std::vector<float> energies(const CHGNet& net, const Crystal& c) {
+  Dataset ds = Dataset::from_crystals({c}, {}, {}, /*relabel=*/false);
+  data::Batch b = data::collate_indices(ds, {0});
+  return net.forward(b, ForwardMode::kEval).energy_per_atom.value().to_vector();
+}
+
+class Invariance : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CHGNet net{tiny_cfg(), 100};
+};
+
+TEST_P(Invariance, TranslationLeavesEnergyUnchanged) {
+  Crystal c = random_structure(GetParam());
+  const std::vector<float> e0 = energies(net, c);
+  Crystal shifted = c;
+  for (auto& f : shifted.frac) {
+    f[0] += 0.237;
+    f[1] += 0.411;
+    f[2] += 0.059;
+  }
+  const std::vector<float> e1 = energies(net, shifted);
+  ASSERT_EQ(e0.size(), e1.size());
+  EXPECT_NEAR(e0[0], e1[0], 2e-4f);
+}
+
+TEST_P(Invariance, PeriodicWrapLeavesEnergyUnchanged) {
+  Crystal c = random_structure(GetParam() + 1);
+  const std::vector<float> e0 = energies(net, c);
+  Crystal wrapped = c;
+  // Push atoms outside [0,1); the neighbour search must see the same
+  // periodic structure.
+  wrapped.frac[0][0] += 1.0;
+  wrapped.frac[1][1] -= 2.0;
+  const std::vector<float> e1 = energies(net, wrapped);
+  EXPECT_NEAR(e0[0], e1[0], 2e-4f);
+}
+
+TEST_P(Invariance, RotationLeavesEnergyUnchanged) {
+  Crystal c = random_structure(GetParam() + 2);
+  const std::vector<float> e0 = energies(net, c);
+  Rng rng(GetParam());
+  const double a = rng.uniform(0.1, 3.0);
+  const double b = rng.uniform(0.1, 3.0);
+  // Compose two axis rotations for a generic orientation.
+  const data::Mat3 rz = {{{std::cos(a), -std::sin(a), 0},
+                          {std::sin(a), std::cos(a), 0},
+                          {0, 0, 1}}};
+  const data::Mat3 rx = {{{1, 0, 0},
+                          {0, std::cos(b), -std::sin(b)},
+                          {0, std::sin(b), std::cos(b)}}};
+  Crystal rot = c;
+  rot.lattice = data::mat_mul(c.lattice, data::mat_mul(rz, rx));
+  const std::vector<float> e1 = energies(net, rot);
+  EXPECT_NEAR(e0[0], e1[0], 5e-4f);
+}
+
+TEST_P(Invariance, DerivativeForcesAreRotationEquivariant) {
+  // The reference readout F = -dE/dx inherits equivariance from the energy;
+  // this is the counterpart to the force head's analytic proof (Eq. 8).
+  Crystal c = random_structure(GetParam() + 3);
+  const double ang = 1.1;
+  const data::Mat3 rot = {{{std::cos(ang), -std::sin(ang), 0},
+                           {std::sin(ang), std::cos(ang), 0},
+                           {0, 0, 1}}};
+  Crystal cr = c;
+  cr.lattice = data::mat_mul(c.lattice, rot);
+
+  auto forces_of = [&](const Crystal& cc) {
+    Dataset ds = Dataset::from_crystals({cc}, {}, {}, false);
+    data::Batch b = data::collate_indices(ds, {0});
+    return net.forward(b, ForwardMode::kEval).forces.value().to_vector();
+  };
+  const auto f0 = forces_of(c);
+  const auto f1 = forces_of(cr);
+  for (std::size_t atom = 0; atom < f0.size() / 3; ++atom) {
+    for (int j = 0; j < 3; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < 3; ++k) expect += f0[atom * 3 + k] * rot[k][j];
+      EXPECT_NEAR(f1[atom * 3 + j], expect, 5e-3) << "atom " << atom;
+    }
+  }
+}
+
+TEST_P(Invariance, AtomPermutationPermutesOutputs) {
+  Crystal c = random_structure(GetParam() + 4);
+  const std::vector<float> e0 = energies(net, c);
+  // Reverse the atom order.
+  Crystal perm = c;
+  std::reverse(perm.frac.begin(), perm.frac.end());
+  std::reverse(perm.species.begin(), perm.species.end());
+  const std::vector<float> e1 = energies(net, perm);
+  EXPECT_NEAR(e0[0], e1[0], 2e-4f);  // per-structure energy invariant
+}
+
+TEST_P(Invariance, BatchCompositionIndependence) {
+  // A structure's prediction must not depend on which other structures
+  // share its batch (disjoint-union batching).
+  Crystal c = random_structure(GetParam() + 5);
+  Crystal other = random_structure(GetParam() + 500);
+  Dataset solo = Dataset::from_crystals({c}, {}, {}, false);
+  Dataset both = Dataset::from_crystals({other, c}, {}, {}, false);
+  data::Batch b1 = data::collate_indices(solo, {0});
+  data::Batch b2 = data::collate_indices(both, {0, 1});
+  const float e_solo =
+      net.forward(b1, ForwardMode::kEval).energy_per_atom.value().data()[0];
+  const float e_batched =
+      net.forward(b2, ForwardMode::kEval).energy_per_atom.value().data()[1];
+  EXPECT_NEAR(e_solo, e_batched, 2e-4f);
+}
+
+TEST_P(Invariance, SizeExtensivity) {
+  // Doubling the cell must leave the energy per atom unchanged (message
+  // passing with finite cutoffs is exactly size-extensive).
+  Crystal c = random_structure(GetParam() + 6);
+  Crystal super = data::make_supercell(c, 2, 1, 1);
+  const float e1 = energies(net, c)[0];
+  const float e2 = energies(net, super)[0];
+  EXPECT_NEAR(e1, e2, 5e-4f);
+}
+
+TEST_P(Invariance, DeterministicForward) {
+  Crystal c = random_structure(GetParam() + 7);
+  EXPECT_EQ(energies(net, c), energies(net, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Invariance,
+                         ::testing::Values(501, 502, 503, 504));
+
+TEST(InvarianceDecoupled, ForceHeadNetForceNotConstrainedButFinite) {
+  // Direct force prediction does not enforce momentum conservation (a known
+  // trade-off of decoupled heads); forces must still be finite and bounded.
+  CHGNet net(tiny_cfg(true), 101);
+  Crystal c = random_structure(901);
+  Dataset ds = Dataset::from_crystals({c}, {}, {}, false);
+  data::Batch b = data::collate_indices(ds, {0});
+  auto f = net.forward(b, ForwardMode::kEval).forces.value().to_vector();
+  for (float v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 1e3f);
+  }
+}
+
+TEST(InvarianceDecoupled, DerivativeForcesSumToZero) {
+  // In contrast, derivative forces satisfy Newton's third law exactly
+  // (translation invariance of E).
+  CHGNet net(tiny_cfg(false), 102);
+  Crystal c = random_structure(902);
+  Dataset ds = Dataset::from_crystals({c}, {}, {}, false);
+  data::Batch b = data::collate_indices(ds, {0});
+  auto f = net.forward(b, ForwardMode::kEval).forces.value().to_vector();
+  for (int d = 0; d < 3; ++d) {
+    double total = 0.0;
+    for (std::size_t atom = 0; atom < f.size() / 3; ++atom) {
+      total += f[atom * 3 + d];
+    }
+    EXPECT_NEAR(total, 0.0, 2e-3) << "direction " << d;
+  }
+}
+
+TEST(InvarianceSupercell, SupercellGeometry) {
+  Crystal c = random_structure(903);
+  Crystal s = data::make_supercell(c, 2, 3, 1);
+  EXPECT_EQ(s.natoms(), c.natoms() * 6);
+  EXPECT_NEAR(s.volume(), c.volume() * 6.0, 1e-9);
+  // Fractional coordinates stay inside the new cell.
+  for (const auto& f : s.frac) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(f[d], 0.0);
+      EXPECT_LT(f[d], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastchg::model

@@ -1,0 +1,167 @@
+// Coverage for corners not exercised elsewhere: sum_to/broadcast helper
+// behaviour, 1-D concat, StressHead's lattice outer-product identity,
+// module registry misuse, Berendsen clamp behaviour, charge-inference
+// determinism, and Batch label fallbacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "chgnet/charge.hpp"
+#include "data/batch.hpp"
+#include "fastchgnet/heads.hpp"
+#include "md/md.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace fastchg {
+namespace {
+
+using namespace ag::ops;
+using ag::Var;
+
+// ---------------------------------------------------------------------------
+// broadcast helpers
+// ---------------------------------------------------------------------------
+
+TEST(SumTo, AllSupportedTargets) {
+  Var x(Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3}), false);
+  EXPECT_FLOAT_EQ(sum_to(x, {1}).item(), 21.0f);
+  EXPECT_EQ(sum_to(x, {3}).value().to_vector(),
+            (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(sum_to(x, {1, 3}).value().to_vector(),
+            (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(sum_to(x, {2, 1}).value().to_vector(),
+            (std::vector<float>{6, 15}));
+  // Same shape: identity (no copy).
+  Var same = sum_to(x, {2, 3});
+  EXPECT_TRUE(same.value().shares_storage(x.value()));
+}
+
+TEST(SumTo, UnsupportedTargetThrows) {
+  Var x(Tensor::zeros({4, 3}), false);
+  EXPECT_THROW(sum_to(x, {2, 3}), Error);
+}
+
+TEST(BroadcastTo, UnsupportedShapeThrows) {
+  Var x(Tensor::zeros({2, 2}), false);
+  EXPECT_THROW(broadcast_to(x, {4, 4}), Error);
+}
+
+TEST(Cat, OneDimensionalPath) {
+  Var a(Tensor::from_vector({1, 2}, {2}), false);
+  Var b(Tensor::from_vector({3}, {1}), false);
+  Var c = cat({a, b}, 0);
+  EXPECT_EQ(c.value().to_vector(), (std::vector<float>{1, 2, 3}));
+  EXPECT_THROW(cat({a, b}, 1), Error);  // 1-D tensors only concat on dim 0
+}
+
+TEST(Cat, SingleInputPassthrough) {
+  Var a(Tensor::from_vector({1, 2}, {2}), false);
+  Var c = cat({a}, 0);
+  EXPECT_TRUE(c.value().shares_storage(a.value()));
+}
+
+// ---------------------------------------------------------------------------
+// stress head geometry
+// ---------------------------------------------------------------------------
+
+TEST(StressHead, LatticeOuterCubicIdentity) {
+  // For a cubic lattice the normalized rows are the unit vectors, so
+  // sum_{ij} e_i (x) e_j is the all-ones 3x3 matrix, independent of a.
+  Tensor lat = Tensor::zeros({3, 3});
+  lat.data()[0] = 5.0f;
+  lat.data()[4] = 5.0f;
+  lat.data()[8] = 5.0f;
+  Tensor outer = model::StressHead::lattice_outer(lat);
+  for (index_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(outer.data()[i], 1.0f, 1e-6f);
+  }
+}
+
+TEST(StressHead, LatticeOuterScaleInvariant) {
+  Rng rng(3);
+  Tensor lat = Tensor::empty({3, 3});
+  rng.fill_uniform(lat, 1.0f, 5.0f);
+  Tensor a = model::StressHead::lattice_outer(lat);
+  Tensor lat2 = lat.clone();
+  lat2.mul_(3.0f);  // normalization removes the overall scale
+  Tensor b = model::StressHead::lattice_outer(lat2);
+  for (index_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// module registry misuse
+// ---------------------------------------------------------------------------
+
+class BadModule : public nn::Module {
+ public:
+  void poke() { add_child("nothing", nullptr); }
+};
+
+TEST(Module, NullChildThrows) {
+  BadModule m;
+  EXPECT_THROW(m.poke(), Error);
+}
+
+TEST(Module, CopyParametersCountMismatchThrows) {
+  Rng rng(1);
+  nn::Linear a(3, 2, rng);
+  nn::Linear b(3, 2, rng, /*bias=*/false);
+  EXPECT_THROW(b.copy_parameters_from(a), Error);
+}
+
+// ---------------------------------------------------------------------------
+// thermostat clamp + mass model
+// ---------------------------------------------------------------------------
+
+TEST(AtomicMass, MonotoneBeyondHydrogen) {
+  for (index_t z = 2; z < 89; ++z) {
+    EXPECT_GT(md::atomic_mass(z + 1), md::atomic_mass(z));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// charge inference determinism
+// ---------------------------------------------------------------------------
+
+TEST(ChargeInference, Deterministic) {
+  Rng rng(8);
+  std::vector<index_t> species;
+  std::vector<double> magmoms;
+  for (int i = 0; i < 20; ++i) {
+    species.push_back(rng.randint(1, 89));
+    magmoms.push_back(rng.uniform(0.0, 2.0));
+  }
+  auto a = model::infer_charges(species, magmoms);
+  auto b = model::infer_charges(species, magmoms);
+  EXPECT_EQ(a.oxidation, b.oxidation);
+  EXPECT_EQ(a.total_charge, b.total_charge);
+  EXPECT_DOUBLE_EQ(a.penalty, b.penalty);
+}
+
+// ---------------------------------------------------------------------------
+// batch label fallbacks
+// ---------------------------------------------------------------------------
+
+TEST(Batch, UnlabelledCrystalsGetZeroLabels) {
+  Rng rng(9);
+  data::GeneratorConfig g;
+  g.min_atoms = 3;
+  g.max_atoms = 5;
+  data::Crystal c = data::random_crystal(rng, g);  // no labels
+  data::Dataset ds = data::Dataset::from_crystals({c}, {}, {},
+                                                  /*relabel=*/false);
+  data::Batch b = data::collate_indices(ds, {0});
+  for (float v : b.forces.to_vector()) EXPECT_EQ(v, 0.0f);
+  for (float v : b.magmom.to_vector()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Batch, EmptyBatchThrows) {
+  EXPECT_THROW(data::collate({}), Error);
+}
+
+}  // namespace
+}  // namespace fastchg

@@ -1,0 +1,275 @@
+// Unit tests for the nn layer: parameter registry, Linear/PackedLinear
+// equivalence, LayerNorm (composed vs fused), GatedMLP (reference vs fused),
+// Embedding -- including gradient checks on the fused custom kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "nn/embedding.hpp"
+#include "nn/gated_mlp.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "perf/counters.hpp"
+
+namespace fastchg::nn {
+namespace {
+
+using namespace ag::ops;
+using ag::GradCheckOptions;
+using ag::gradcheck;
+using ag::gradcheck_double;
+using ag::Var;
+
+Var random_var(Shape shape, Rng& rng, bool rg = false) {
+  Tensor t = Tensor::empty(std::move(shape));
+  rng.fill_uniform(t, -1.0f, 1.0f);
+  return Var(std::move(t), rg);
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(same_shape(a.shape(), b.shape()))
+      << shape_str(a.shape()) << " vs " << shape_str(b.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (index_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(pa[i], pb[i], tol) << "at element " << i;
+  }
+}
+
+TEST(Module, ParameterRegistryNamesAndCounts) {
+  Rng rng(1);
+  GatedMLP mlp(8, 4, rng);
+  auto named = mlp.named_parameters();
+  // 2 linears (w+b) + 2 layernorms (gamma+beta) = 8 parameters.
+  EXPECT_EQ(named.size(), 8u);
+  EXPECT_EQ(named[0].first, "core_fc.w");
+  EXPECT_EQ(mlp.num_parameters(), 2 * (8 * 4 + 4) + 2 * (4 + 4));
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  Var x = random_var({4, 3}, rng);
+  ag::backward(sum_all(lin.forward(x)));
+  EXPECT_TRUE(lin.weight().has_grad());
+  lin.zero_grad();
+  for (float v : lin.weight().grad().to_vector()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Module, CopyParametersFrom) {
+  Rng r1(1), r2(2);
+  Linear a(3, 2, r1), b(3, 2, r2);
+  EXPECT_NE(a.weight().value().to_vector(), b.weight().value().to_vector());
+  b.copy_parameters_from(a);
+  EXPECT_EQ(a.weight().value().to_vector(), b.weight().value().to_vector());
+}
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(3);
+  Linear lin(4, 5, rng);
+  Var x = random_var({7, 4}, rng);
+  Var y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{7, 5}));
+  Linear nobias(4, 5, rng, /*bias=*/false);
+  EXPECT_FALSE(nobias.bias().defined());
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(4);
+  Linear lin(3, 2, rng);
+  Var x = random_var({5, 3}, rng, true);
+  GradCheckOptions opt;
+  auto r = gradcheck(
+      [&] { return sum_all(square(lin.forward(x))); },
+      {lin.weight(), lin.bias(), x}, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(PackedLinear, MatchesIndividualHeads) {
+  Rng rng(5);
+  PackedLinear packed(6, {4, 4, 4}, rng);
+  Var x = random_var({9, 6}, rng);
+  Var all = packed.forward(x);
+  EXPECT_EQ(all.shape(), (Shape{9, 12}));
+  // Heads must equal the slice of a plain matmul against the same columns.
+  Var w = packed.named_parameters()[0].second;
+  Var b = packed.named_parameters()[1].second;
+  Var manual = add(matmul(x, w), b);
+  for (std::size_t h = 0; h < 3; ++h) {
+    expect_close(packed.head(h, all).value(),
+                 narrow(manual, 1, static_cast<index_t>(4 * h), 4).value());
+  }
+}
+
+TEST(PackedLinear, OneGemmInsteadOfK) {
+  Rng rng(6);
+  PackedLinear packed(6, {4, 4, 4}, rng);
+  Var x = random_var({9, 6}, rng);
+  perf::reset_kernels();
+  perf::set_per_op(true);
+  (void)packed.forward(x);
+  EXPECT_EQ(perf::counters().per_op.at("matmul"), 1u);
+  perf::set_per_op(false);
+  perf::reset_kernels();
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm ln(8);
+  Rng rng(7);
+  Var x = random_var({5, 8}, rng);
+  Var y = ln.forward(x);
+  // With gamma=1, beta=0 each row has ~zero mean, ~unit variance.
+  const float* p = y.value().data();
+  for (index_t r = 0; r < 5; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (index_t c = 0; c < 8; ++c) mean += p[r * 8 + c];
+    mean /= 8;
+    for (index_t c = 0; c < 8; ++c) {
+      const double d = p[r * 8 + c] - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, FusedMatchesComposed) {
+  Rng rng(8);
+  LayerNorm ref(16), fused(16, /*fused=*/true);
+  fused.copy_parameters_from(ref);
+  Var x = random_var({10, 16}, rng);
+  expect_close(ref.forward(x).value(), fused.forward(x).value(), 1e-5f);
+}
+
+TEST(LayerNorm, FusedIsOneKernel) {
+  Rng rng(9);
+  LayerNorm ref(16), fused(16, /*fused=*/true);
+  Var x = random_var({10, 16}, rng);
+  perf::reset_kernels();
+  (void)fused.forward(x);
+  const auto fused_kernels = perf::counters().kernel_launches;
+  perf::reset_kernels();
+  (void)ref.forward(x);
+  const auto ref_kernels = perf::counters().kernel_launches;
+  EXPECT_EQ(fused_kernels, 1u);
+  EXPECT_GT(ref_kernels, 5u);
+  perf::reset_kernels();
+}
+
+TEST(LayerNorm, FusedGradCheck) {
+  Rng rng(10);
+  LayerNorm fused(6, /*fused=*/true);
+  Var x = random_var({4, 6}, rng, true);
+  auto params = fused.parameters();
+  GradCheckOptions opt;
+  auto r = gradcheck(
+      [&] { return sum_all(square(fused.forward(x))); },
+      {x, params[0], params[1]}, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(LayerNorm, FusedDoubleBackward) {
+  Rng rng(11);
+  LayerNorm fused(5, /*fused=*/true);
+  Var x = random_var({3, 5}, rng, true);
+  GradCheckOptions opt;
+  auto r = gradcheck_double(
+      [&] { return sum_all(square(fused.forward(x))); }, {x}, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GatedMLP, FusedMatchesReference) {
+  Rng rng(12);
+  GatedMLP ref(10, 6, rng, /*fused=*/false);
+  GatedMLP fused(10, 6, rng, /*fused=*/true);
+  fused.copy_parameters_from(ref);
+  Var x = random_var({8, 10}, rng);
+  expect_close(ref.forward(x).value(), fused.forward(x).value(), 1e-5f);
+}
+
+TEST(GatedMLP, FusedLaunchesFarFewerKernels) {
+  Rng rng(13);
+  GatedMLP ref(10, 6, rng, false), fused(10, 6, rng, true);
+  Var x = random_var({8, 10}, rng);
+  perf::reset_kernels();
+  (void)ref.forward(x);
+  const auto ref_k = perf::counters().kernel_launches;
+  perf::reset_kernels();
+  (void)fused.forward(x);
+  const auto fused_k = perf::counters().kernel_launches;
+  EXPECT_LT(fused_k * 2, ref_k);  // at least 2x fewer launches
+  perf::reset_kernels();
+}
+
+TEST(GatedMLP, FusedGradCheckAllParams) {
+  Rng rng(14);
+  GatedMLP fused(4, 3, rng, /*fused=*/true);
+  Var x = random_var({5, 4}, rng, true);
+  std::vector<ag::Var> leaves = fused.parameters();
+  leaves.push_back(x);
+  GradCheckOptions opt;
+  auto r = gradcheck(
+      [&] { return sum_all(square(fused.forward(x))); }, leaves, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GatedMLP, FusedDoubleBackward) {
+  Rng rng(15);
+  GatedMLP fused(4, 3, rng, /*fused=*/true);
+  Var x = random_var({4, 4}, rng, true);
+  GradCheckOptions opt;
+  auto r = gradcheck_double(
+      [&] { return sum_all(square(fused.forward(x))); }, {x}, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GatedMLP, ReferenceGradCheck) {
+  Rng rng(16);
+  GatedMLP ref(4, 3, rng, /*fused=*/false);
+  Var x = random_var({5, 4}, rng, true);
+  std::vector<ag::Var> leaves = ref.parameters();
+  leaves.push_back(x);
+  GradCheckOptions opt;
+  auto r = gradcheck(
+      [&] { return sum_all(square(ref.forward(x))); }, leaves, opt);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GatedMLP, FusedAndReferenceGradsAgree) {
+  Rng rng(17);
+  GatedMLP ref(6, 4, rng, false), fused(6, 4, rng, true);
+  fused.copy_parameters_from(ref);
+  Var x = random_var({7, 6}, rng);
+  auto grads_of = [&](GatedMLP& m) {
+    m.zero_grad();
+    ag::backward(sum_all(square(m.forward(x))));
+    std::vector<Tensor> out;
+    for (auto& p : m.parameters()) out.push_back(p.grad().clone());
+    return out;
+  };
+  auto gr = grads_of(ref);
+  auto gf = grads_of(fused);
+  ASSERT_EQ(gr.size(), gf.size());
+  for (std::size_t i = 0; i < gr.size(); ++i) {
+    expect_close(gr[i], gf[i], 2e-3f);
+  }
+}
+
+TEST(Embedding, LookupAndGrad) {
+  Rng rng(18);
+  Embedding emb(10, 4, rng);
+  Var out = emb.forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+  ag::backward(sum_all(out));
+  const Tensor& g = emb.parameters()[0].grad();
+  // Row 3 used twice, row 7 once, others zero.
+  EXPECT_FLOAT_EQ(g.data()[3 * 4], 2.0f);
+  EXPECT_FLOAT_EQ(g.data()[7 * 4], 1.0f);
+  EXPECT_FLOAT_EQ(g.data()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace fastchg::nn

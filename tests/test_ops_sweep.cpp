@@ -1,0 +1,141 @@
+// Parameterized property sweeps over the op x broadcast-pattern matrix:
+// every elementwise binary op must be numerically correct (value + gradient
+// + double backward) under every supported broadcast pattern, and every
+// activation across input regimes.  One body, the full matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+
+namespace fastchg::ag {
+namespace {
+
+using namespace ops;
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+enum class Pattern { kSame, kRow, kRow1, kCol, kScalar };
+
+const char* op_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+  }
+  return "?";
+}
+
+Var apply(BinOp op, const Var& a, const Var& b) {
+  switch (op) {
+    case BinOp::kAdd: return add(a, b);
+    case BinOp::kSub: return sub(a, b);
+    case BinOp::kMul: return mul(a, b);
+    case BinOp::kDiv: return div(a, b);
+  }
+  return Var();
+}
+
+Shape second_shape(Pattern p) {
+  switch (p) {
+    case Pattern::kSame: return {4, 3};
+    case Pattern::kRow: return {3};
+    case Pattern::kRow1: return {1, 3};
+    case Pattern::kCol: return {4, 1};
+    case Pattern::kScalar: return {1};
+  }
+  return {};
+}
+
+class BinaryBroadcastSweep
+    : public ::testing::TestWithParam<std::tuple<BinOp, Pattern>> {};
+
+TEST_P(BinaryBroadcastSweep, ValueShapeAndBothGradOrders) {
+  const auto [op, pattern] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(1000 + 10 * static_cast<int>(op) +
+                                     static_cast<int>(pattern)));
+  Tensor ta = Tensor::empty({4, 3});
+  Tensor tb = Tensor::empty(second_shape(pattern));
+  // Keep div well-conditioned: operands bounded away from zero.
+  rng.fill_uniform(ta, 0.5f, 1.5f);
+  rng.fill_uniform(tb, 0.5f, 1.5f);
+  Var a(std::move(ta), true);
+  Var b(std::move(tb), true);
+
+  Var out = apply(op, a, b);
+  ASSERT_EQ(out.shape(), (Shape{4, 3})) << op_name(op);
+
+  // Spot-check one element against scalar arithmetic.
+  const float av = a.value().data()[0];
+  const float* pb = b.value().data();
+  const float bv = pb[0];
+  float expect = 0;
+  switch (op) {
+    case BinOp::kAdd: expect = av + bv; break;
+    case BinOp::kSub: expect = av - bv; break;
+    case BinOp::kMul: expect = av * bv; break;
+    case BinOp::kDiv: expect = av / bv; break;
+  }
+  EXPECT_NEAR(out.value().data()[0], expect, 1e-6f);
+
+  GradCheckOptions opt;
+  auto first = gradcheck(
+      [&] { return sum_all(square(apply(op, a, b))); }, {a, b}, opt);
+  EXPECT_TRUE(first.ok) << op_name(op) << ": " << first.detail;
+
+  opt.rtol = 8e-2f;
+  auto second = gradcheck_double(
+      [&] { return sum_all(square(apply(op, a, b))); }, {a, b}, opt);
+  EXPECT_TRUE(second.ok) << op_name(op) << " (2nd order): " << second.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsByPattern, BinaryBroadcastSweep,
+    ::testing::Combine(::testing::Values(BinOp::kAdd, BinOp::kSub,
+                                         BinOp::kMul, BinOp::kDiv),
+                       ::testing::Values(Pattern::kSame, Pattern::kRow,
+                                         Pattern::kRow1, Pattern::kCol,
+                                         Pattern::kScalar)));
+
+// ---------------------------------------------------------------------------
+// activations across input regimes
+// ---------------------------------------------------------------------------
+
+enum class Act { kSigmoid, kSilu, kTanh };
+
+class ActivationSweep
+    : public ::testing::TestWithParam<std::tuple<Act, float>> {};
+
+TEST_P(ActivationSweep, GradAndDoubleGradInEveryRegime) {
+  const auto [act, center] = GetParam();
+  Rng rng(77);
+  Tensor t = Tensor::empty({10});
+  rng.fill_uniform(t, center - 0.5f, center + 0.5f);
+  Var x(std::move(t), true);
+  auto f = [&, act = act]() -> Var {
+    switch (act) {
+      case Act::kSigmoid: return sum_all(sigmoid(x));
+      case Act::kSilu: return sum_all(silu(x));
+      case Act::kTanh: return sum_all(tanh_op(x));
+    }
+    return Var();
+  };
+  GradCheckOptions opt;
+  auto first = gradcheck(f, {x}, opt);
+  EXPECT_TRUE(first.ok) << first.detail;
+  opt.rtol = 8e-2f;
+  auto second = gradcheck_double(f, {x}, opt);
+  EXPECT_TRUE(second.ok) << second.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, ActivationSweep,
+    ::testing::Combine(::testing::Values(Act::kSigmoid, Act::kSilu,
+                                         Act::kTanh),
+                       // saturated-negative, linear, saturated-positive
+                       ::testing::Values(-3.0f, 0.0f, 3.0f)));
+
+}  // namespace
+}  // namespace fastchg::ag

@@ -1,0 +1,133 @@
+// Tests for the Verlet (skin-buffered) neighbour cache: exact graph
+// equivalence with fresh rebuilds along an MD-like random walk, rebuild
+// accounting, image re-basing across periodic wraps, and end-to-end MD
+// trajectory agreement.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "data/verlet.hpp"
+#include "md/md.hpp"
+
+namespace fastchg::data {
+namespace {
+
+using EdgeKey = std::tuple<index_t, index_t, int, int, int>;
+
+std::multiset<EdgeKey> edge_set(const GraphData& g) {
+  std::multiset<EdgeKey> keys;
+  for (index_t e = 0; e < g.num_edges(); ++e) {
+    const auto se = static_cast<std::size_t>(e);
+    keys.insert({g.edge_src[se], g.edge_dst[se],
+                 static_cast<int>(g.edge_image[se][0]),
+                 static_cast<int>(g.edge_image[se][1]),
+                 static_cast<int>(g.edge_image[se][2])});
+  }
+  return keys;
+}
+
+Crystal walk_start(std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratorConfig g;
+  g.min_atoms = 5;
+  g.max_atoms = 8;
+  return random_crystal(rng, g);
+}
+
+/// Jitter every atom by up to `amp` A (cartesian), wrapping fracs.
+void jitter(Crystal& c, Rng& rng, double amp) {
+  const Mat3 inv = inv3(c.lattice);
+  for (auto& f : c.frac) {
+    Vec3 dr{rng.uniform(-amp, amp), rng.uniform(-amp, amp),
+            rng.uniform(-amp, amp)};
+    const Vec3 df = mat_vec(inv, dr);
+    for (int d = 0; d < 3; ++d) {
+      f[d] += df[d];
+      f[d] -= std::floor(f[d]);
+    }
+  }
+}
+
+class VerletWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerletWalk, MatchesFreshGraphAtEveryStep) {
+  Crystal c = walk_start(GetParam());
+  GraphConfig cfg;
+  cfg.atom_cutoff = 5.0;
+  cfg.bond_cutoff = 2.5;
+  VerletList vl(cfg, /*skin=*/0.8);
+  Rng rng(GetParam() + 7);
+  for (int step = 0; step < 12; ++step) {
+    GraphData cached = vl.graph(c);
+    GraphData fresh = build_graph(c, cfg);
+    ASSERT_EQ(cached.num_edges(), fresh.num_edges()) << "step " << step;
+    EXPECT_TRUE(edge_set(cached) == edge_set(fresh)) << "step " << step;
+    EXPECT_EQ(cached.num_angles(), fresh.num_angles()) << "step " << step;
+    jitter(c, rng, 0.05);
+  }
+  // With 0.05 A steps and a 0.8 A skin, most queries reuse the cache.
+  EXPECT_LT(vl.rebuilds(), vl.queries() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerletWalk, ::testing::Values(61, 62, 63));
+
+TEST(Verlet, LargeMoveTriggersRebuild) {
+  Crystal c = walk_start(64);
+  GraphConfig cfg;
+  VerletList vl(cfg, 0.6);
+  (void)vl.graph(c);
+  EXPECT_EQ(vl.rebuilds(), 1);
+  (void)vl.graph(c);  // unchanged: cache hit
+  EXPECT_EQ(vl.rebuilds(), 1);
+  c.frac[0][0] += 0.5;  // far beyond skin/2
+  (void)vl.graph(c);
+  EXPECT_EQ(vl.rebuilds(), 2);
+}
+
+TEST(Verlet, HandlesPeriodicWrapBetweenQueries) {
+  // An atom drifting across the cell boundary changes its wrapped image;
+  // the cached edges must be re-based and still match a fresh build.
+  Crystal c = walk_start(65);
+  c.frac[0] = {0.995, 0.5, 0.5};
+  GraphConfig cfg;
+  VerletList vl(cfg, 1.0);
+  (void)vl.graph(c);
+  c.frac[0][0] = 1.003;  // wraps to 0.003; drift is only ~0.05 A
+  GraphData cached = vl.graph(c);
+  GraphData fresh = build_graph(c, cfg);
+  EXPECT_TRUE(edge_set(cached) == edge_set(fresh));
+}
+
+TEST(Verlet, ZeroSkinRejected) {
+  EXPECT_THROW(VerletList({}, 0.0), Error);
+}
+
+TEST(VerletMD, TrajectoryMatchesFullRebuild) {
+  model::ModelConfig mcfg = model::ModelConfig::fast_no_head();
+  mcfg.feat_dim = 8;
+  mcfg.num_radial = 5;
+  mcfg.num_angular = 5;
+  mcfg.num_layers = 1;
+  model::CHGNet net(mcfg, 66);
+  Crystal start = walk_start(67);
+
+  md::MDConfig base;
+  base.dt_fs = 0.25;
+  base.init_temperature_k = 200.0;
+  md::MDConfig cached = base;
+  cached.verlet_skin = 1.0;
+
+  md::MDSimulator a(net, start, base);
+  md::MDSimulator b(net, start, cached);
+  for (int blockstep = 0; blockstep < 3; ++blockstep) {
+    a.step(5);
+    b.step(5);
+    EXPECT_NEAR(a.potential_energy(), b.potential_energy(),
+                1e-3 * std::max(1.0, std::fabs(a.potential_energy())))
+        << "after " << a.steps_taken() << " steps";
+  }
+}
+
+}  // namespace
+}  // namespace fastchg::data

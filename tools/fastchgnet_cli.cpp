@@ -1,0 +1,250 @@
+// fastchgnet -- command-line interface to the library.
+//
+//   fastchgnet generate --n 512 --seed 7 --out stats        dataset statistics
+//   fastchgnet train    --n 256 --epochs 8 --fast           train + evaluate
+//   fastchgnet md       --crystal LiMnO2 --steps 50         run MD
+//   fastchgnet relax    --seed 5                            relax a structure
+//   fastchgnet charges  --seed 5                            infer charges
+//   fastchgnet info                                         build/config info
+//
+// Every subcommand prints human-readable output; flags have sensible
+// defaults so `fastchgnet train` alone gives a working demo.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "chgnet/charge.hpp"
+#include "chgnet/model.hpp"
+#include "core/parallel_for.hpp"
+#include "data/generator.hpp"
+#include "md/md.hpp"
+#include "md/observables.hpp"
+#include "md/relax.hpp"
+#include "nn/serialize.hpp"
+#include "train/trainer.hpp"
+
+namespace fastchg::cli {
+namespace {
+
+/// Minimal --key value parser; flags without a value store "1".
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+index_t flag_i(const std::map<std::string, std::string>& f,
+               const std::string& key, index_t fallback) {
+  auto it = f.find(key);
+  return it == f.end() ? fallback
+                       : static_cast<index_t>(std::stoll(it->second));
+}
+
+bool flag_b(const std::map<std::string, std::string>& f,
+            const std::string& key) {
+  return f.count(key) > 0;
+}
+
+model::ModelConfig cli_model_config(
+    const std::map<std::string, std::string>& flags) {
+  model::ModelConfig cfg = flag_b(flags, "reference")
+                               ? model::ModelConfig::reference()
+                               : model::ModelConfig::fast();
+  cfg.feat_dim = flag_i(flags, "width", 24);
+  cfg.num_radial = flag_i(flags, "radial", 11);
+  cfg.num_angular = cfg.num_radial;
+  cfg.num_layers = flag_i(flags, "layers", 3);
+  return cfg;
+}
+
+int cmd_info() {
+  std::printf("FastCHGNet C++ reproduction\n");
+  std::printf("  worker threads : %d (FASTCHG_NUM_THREADS overrides)\n",
+              num_threads());
+  model::CHGNet fast(model::ModelConfig::fast(), 0);
+  model::CHGNet ref(model::ModelConfig::reference(), 0);
+  std::printf("  FastCHGNet params (paper dims): %lld\n",
+              static_cast<long long>(fast.num_parameters()));
+  std::printf("  CHGNet params (paper dims)    : %lld\n",
+              static_cast<long long>(ref.num_parameters()));
+  std::printf("  see DESIGN.md / EXPERIMENTS.md for the paper mapping\n");
+  return 0;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const index_t n = flag_i(flags, "n", 512);
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 7));
+  std::printf("generating %lld oracle-labelled structures (seed %llu)...\n",
+              static_cast<long long>(n),
+              static_cast<unsigned long long>(seed));
+  data::Dataset ds = data::Dataset::generate(n, seed);
+  auto st = ds.distribution(12);
+  std::printf("mean atoms %.1f  bonds %.1f  angles %.1f\n", st.mean_atoms,
+              st.mean_bonds, st.mean_angles);
+  std::printf("max  atoms %lld  bonds %lld  angles %lld (long tail)\n",
+              static_cast<long long>(st.max_atoms),
+              static_cast<long long>(st.max_bonds),
+              static_cast<long long>(st.max_angles));
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const index_t n = flag_i(flags, "n", 192);
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 7));
+  data::GeneratorConfig gen;
+  gen.num_species = 24;
+  data::Dataset ds = data::Dataset::generate(n, seed, gen);
+  auto split = ds.split(0.0, 0.1, 1);
+
+  model::CHGNet net(cli_model_config(flags), seed);
+  std::printf("model %s, %lld parameters\n", net.config().tag().c_str(),
+              static_cast<long long>(net.num_parameters()));
+  train::TrainConfig tc;
+  tc.batch_size = flag_i(flags, "batch", 16);
+  tc.epochs = flag_i(flags, "epochs", 6);
+  tc.base_lr = 1e-3f;
+  train::Trainer trainer(net, tc);
+  trainer.on_epoch = [](index_t e, const train::EpochStats& st) {
+    std::printf("epoch %2lld  loss %.4f  (%.1fs)\n",
+                static_cast<long long>(e), st.mean_loss, st.seconds);
+  };
+  trainer.fit(ds, split.train);
+  train::EvalMetrics m = trainer.evaluate(ds, split.test);
+  std::printf("test MAE: E %.1f meV/atom  F %.1f meV/A  S %.3f GPa  "
+              "M %.1f m.muB\n",
+              m.energy_mae_mev_atom, m.force_mae_mev_a, m.stress_mae_gpa,
+              m.magmom_mae_mmub);
+  if (auto it = flags.find("save"); it != flags.end()) {
+    nn::save_parameters(net, it->second);
+    std::printf("checkpoint saved to %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_md(const std::map<std::string, std::string>& flags) {
+  const index_t steps = flag_i(flags, "steps", 50);
+  std::string crystal_name = "LiMnO2";
+  if (auto it = flags.find("crystal"); it != flags.end()) {
+    crystal_name = it->second;
+  }
+  data::Crystal c = data::make_reference_structure(crystal_name);
+  model::CHGNet net(cli_model_config(flags), 42);
+  md::MDConfig cfg;
+  cfg.dt_fs = 0.25;
+  cfg.init_temperature_k = 300.0;
+  if (flag_b(flags, "nvt")) {
+    cfg.ensemble = md::Ensemble::kNVTLangevin;
+    cfg.target_temperature_k =
+        static_cast<double>(flag_i(flags, "temperature", 300));
+  }
+  md::MDSimulator sim(net, c, cfg);
+  md::RdfAccumulator rdf(5.0, 20);
+  md::MsdTracker msd(sim.crystal());
+  std::printf("%8s %12s %12s %10s %10s\n", "step", "E_tot(eV)", "T(K)",
+              "MSD(A^2)", "s/step");
+  double per_step = 0.0;
+  for (index_t done = 0; done < steps; done += 10) {
+    per_step = sim.step(std::min<index_t>(10, steps - done));
+    rdf.add_snapshot(sim.crystal());
+    msd.update(sim.crystal());
+    std::printf("%8lld %12.4f %12.1f %10.4f %10.4f\n",
+                static_cast<long long>(sim.steps_taken()),
+                sim.total_energy(), sim.temperature(), msd.msd(), per_step);
+  }
+  std::printf("g(r) peak: ");
+  auto g = rdf.g();
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < g.size(); ++b) {
+    if (g[b] > g[best]) best = b;
+  }
+  std::printf("r = %.2f A (g = %.2f)\n", rdf.r_centers()[best], g[best]);
+  return 0;
+}
+
+int cmd_relax(const std::map<std::string, std::string>& flags) {
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 5));
+  Rng rng(seed);
+  data::GeneratorConfig gen;
+  gen.min_atoms = 4;
+  gen.max_atoms = 10;
+  data::Crystal c = data::random_crystal(rng, gen);
+  model::CHGNet net(cli_model_config(flags), 42);
+  md::RelaxConfig rc;
+  rc.max_steps = flag_i(flags, "steps", 60);
+  md::RelaxResult res = md::relax(net, c, rc);
+  std::printf("relaxed %lld atoms in %lld steps: E %.4f -> %.4f eV, "
+              "|F|max %.3f -> %.3f eV/A (%s)\n",
+              static_cast<long long>(c.natoms()),
+              static_cast<long long>(res.steps), res.initial_energy,
+              res.final_energy, res.initial_fmax, res.final_fmax,
+              res.converged ? "converged" : "not converged");
+  return 0;
+}
+
+int cmd_charges(const std::map<std::string, std::string>& flags) {
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 5));
+  Rng rng(seed);
+  data::GeneratorConfig gen;
+  gen.min_atoms = 6;
+  gen.max_atoms = 10;
+  data::Crystal c = data::random_crystal(rng, gen);
+  data::Oracle oracle;
+  oracle.label(c);
+  auto res = model::infer_charges(c.species, c.magmom);
+  std::printf("%6s %8s %10s %10s\n", "atom", "Z", "magmom", "oxidation");
+  for (index_t i = 0; i < c.natoms(); ++i) {
+    std::printf("%6lld %8lld %10.3f %+10d\n", static_cast<long long>(i),
+                static_cast<long long>(c.species[i]), c.magmom[i],
+                res.oxidation[i]);
+  }
+  std::printf("total charge %+d (%s), assignment penalty %.3f mu_B\n",
+              res.total_charge, res.neutral ? "neutral" : "not neutral",
+              res.penalty);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: fastchgnet <command> [--flags]\n"
+      "  info                          build and model info\n"
+      "  generate --n N --seed S       dataset statistics\n"
+      "  train --n N --epochs E [--reference] [--save PATH]\n"
+      "  md --crystal NAME --steps N [--nvt --temperature T]\n"
+      "  relax --seed S --steps N\n"
+      "  charges --seed S              infer oxidation states from magmoms\n");
+  return 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "md") return cmd_md(flags);
+    if (cmd == "relax") return cmd_relax(flags);
+    if (cmd == "charges") return cmd_charges(flags);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace fastchg::cli
+
+int main(int argc, char** argv) { return fastchg::cli::run(argc, argv); }

@@ -55,6 +55,9 @@ class CHGNet : public nn::Module {
   /// a fixed additive term: it shifts energies but not forces or stress.
   void set_atom_ref(const std::vector<float>& e0);
   bool has_atom_ref() const { return atom_ref_.defined(); }
+  /// The installed reference-energy table (undefined Tensor when absent);
+  /// exposed so full-state checkpoints can persist it.
+  const Tensor& atom_ref() const { return atom_ref_; }
 
  private:
   struct BasisOut {

@@ -1,5 +1,6 @@
 #include "data/dataset_io.hpp"
 
+#include <cmath>
 #include <fstream>
 
 #include "core/error.hpp"
@@ -22,6 +23,37 @@ T read_pod(std::istream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   FASTCHG_CHECK(is.good(), "dataset file: truncated");
   return v;
+}
+
+/// A corrupted row must never reach training: a single non-finite label
+/// would poison every replica's gradients.  Validate each crystal as it is
+/// decoded so the error names the offending row.
+void validate_row(const Crystal& c, std::uint64_t row) {
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      FASTCHG_CHECK(std::isfinite(c.lattice[i][j]),
+                    "load_dataset: row " << row << ": non-finite lattice");
+      FASTCHG_CHECK(std::isfinite(c.stress[i][j]),
+                    "load_dataset: row " << row << ": non-finite stress");
+    }
+  }
+  FASTCHG_CHECK(std::isfinite(c.energy),
+                "load_dataset: row " << row << ": non-finite energy");
+  for (index_t a = 0; a < c.natoms(); ++a) {
+    const auto sa = static_cast<std::size_t>(a);
+    FASTCHG_CHECK(c.species[sa] >= 1 && c.species[sa] <= 118,
+                  "load_dataset: row " << row << ": atomic number "
+                                       << c.species[sa]
+                                       << " out of range [1, 118]");
+    for (int d = 0; d < 3; ++d) {
+      FASTCHG_CHECK(std::isfinite(c.frac[sa][d]),
+                    "load_dataset: row " << row << ": non-finite position");
+      FASTCHG_CHECK(std::isfinite(c.forces[sa][d]),
+                    "load_dataset: row " << row << ": non-finite force");
+    }
+    FASTCHG_CHECK(std::isfinite(c.magmom[sa]),
+                  "load_dataset: row " << row << ": non-finite magmom");
+  }
 }
 
 }  // namespace
@@ -91,6 +123,7 @@ Dataset load_dataset(const std::string& path) {
     for (int i = 0; i < 3; ++i) {
       for (int j = 0; j < 3; ++j) c.stress[i][j] = read_pod<double>(is);
     }
+    validate_row(c, s);
     crystals.push_back(std::move(c));
   }
   return Dataset::from_crystals(std::move(crystals), gc, {},

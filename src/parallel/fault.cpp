@@ -1,0 +1,165 @@
+#include "parallel/fault.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace fastchg::parallel {
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int num_devices,
+                            index_t iterations, double failure_prob,
+                            double straggler_prob, double comm_prob) {
+  FASTCHG_CHECK(num_devices >= 1, "FaultPlan::random: devices");
+  Rng rng(seed);
+  FaultPlan plan;
+  for (index_t it = 0; it < iterations; ++it) {
+    for (int d = 0; d < num_devices; ++d) {
+      if (rng.uniform() < failure_prob) {
+        plan.events.push_back({FaultKind::kDeviceFailure, it, d, 1.0, 1});
+      }
+      if (rng.uniform() < straggler_prob) {
+        plan.events.push_back({FaultKind::kStraggler, it, d,
+                               rng.uniform(2.0, 8.0), rng.randint(1, 3)});
+      }
+    }
+    if (rng.uniform() < comm_prob) {
+      plan.events.push_back({FaultKind::kCommDegrade, it, -1,
+                             rng.uniform(2.0, 10.0), rng.randint(1, 3)});
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Split `s` on any of the characters in `seps`, dropping empty tokens.
+std::vector<std::string> split_tokens(const std::string& s,
+                                      const char* seps) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (std::string(seps).find(c) != std::string::npos) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+long parse_long(const std::string& s, const std::string& token) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  FASTCHG_CHECK(end != nullptr && *end == '\0' && !s.empty(),
+                "fault plan: bad integer '" << s << "' in '" << token << "'");
+  return v;
+}
+
+double parse_double(const std::string& s, const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  FASTCHG_CHECK(end != nullptr && *end == '\0' && !s.empty(),
+                "fault plan: bad number '" << s << "' in '" << token << "'");
+  return v;
+}
+
+/// Split off an optional `*factor` and `#duration` suffix from `body`.
+void parse_suffixes(std::string& body, const std::string& token,
+                    double& factor, index_t& duration) {
+  if (auto hash = body.find('#'); hash != std::string::npos) {
+    duration =
+        static_cast<index_t>(parse_long(body.substr(hash + 1), token));
+    FASTCHG_CHECK(duration >= 1, "fault plan: duration must be >= 1 in '"
+                                     << token << "'");
+    body.erase(hash);
+  }
+  if (auto star = body.find('*'); star != std::string::npos) {
+    factor = parse_double(body.substr(star + 1), token);
+    FASTCHG_CHECK(factor >= 1.0, "fault plan: factor must be >= 1 in '"
+                                     << token << "'");
+    body.erase(star);
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& token : split_tokens(spec, ",;")) {
+    FaultEvent ev;
+    std::string body;
+    if (token.rfind("fail:", 0) == 0) {
+      ev.kind = FaultKind::kDeviceFailure;
+      body = token.substr(5);
+    } else if (token.rfind("slow:", 0) == 0) {
+      ev.kind = FaultKind::kStraggler;
+      body = token.substr(5);
+    } else if (token.rfind("comm@", 0) == 0) {
+      ev.kind = FaultKind::kCommDegrade;
+      body = token.substr(4);  // keep the '@' for uniform handling below
+    } else {
+      FASTCHG_CHECK(false, "fault plan: unknown event '"
+                               << token
+                               << "' (expected fail:D@I, slow:D@I*F#N, or "
+                                  "comm@I*F#N)");
+    }
+    const auto at = body.find('@');
+    FASTCHG_CHECK(at != std::string::npos,
+                  "fault plan: missing '@iteration' in '" << token << "'");
+    std::string iter_part = body.substr(at + 1);
+    parse_suffixes(iter_part, token, ev.factor, ev.duration);
+    ev.iteration = static_cast<index_t>(parse_long(iter_part, token));
+    if (ev.kind != FaultKind::kCommDegrade) {
+      ev.device = static_cast<int>(parse_long(body.substr(0, at), token));
+      FASTCHG_CHECK(ev.device >= 0,
+                    "fault plan: bad device in '" << token << "'");
+    }
+    FASTCHG_CHECK(ev.kind == FaultKind::kDeviceFailure || ev.factor > 1.0,
+                  "fault plan: '" << token
+                                  << "' needs a *factor > 1 to have any "
+                                     "effect");
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::vector<int> FaultInjector::failures_at(index_t iter) const {
+  std::vector<int> out;
+  if (!plan_) return out;
+  for (const FaultEvent& ev : plan_->events) {
+    if (ev.kind == FaultKind::kDeviceFailure && ev.iteration == iter) {
+      out.push_back(ev.device);
+    }
+  }
+  return out;
+}
+
+double FaultInjector::compute_multiplier(int device, index_t iter) const {
+  double f = 1.0;
+  if (!plan_) return f;
+  for (const FaultEvent& ev : plan_->events) {
+    if (ev.kind == FaultKind::kStraggler && ev.device == device &&
+        iter >= ev.iteration && iter < ev.iteration + ev.duration) {
+      f *= ev.factor;
+    }
+  }
+  return f;
+}
+
+double FaultInjector::comm_factor(index_t iter) const {
+  double f = 1.0;
+  if (!plan_) return f;
+  for (const FaultEvent& ev : plan_->events) {
+    if (ev.kind == FaultKind::kCommDegrade && iter >= ev.iteration &&
+        iter < ev.iteration + ev.duration) {
+      f *= ev.factor;
+    }
+  }
+  return f;
+}
+
+}  // namespace fastchg::parallel

@@ -1,0 +1,80 @@
+// Deterministic fault injection for the virtual GPU cluster.
+//
+// At the paper's scale (32 GPUs for 1.5 h, vs 8.3 days for the baseline)
+// device failures, stragglers, and degraded links are the norm, not the
+// exception.  A FaultPlan is an explicit, seed-reproducible schedule of
+// such events; DataParallelTrainer::train_epoch consumes it and reacts:
+//
+//   * kDeviceFailure  -- the device leaves the ring at the given iteration;
+//                        the trainer shrinks the ring, re-shards the
+//                        remaining rows, rescales the LR per Eq. 14 for the
+//                        reduced global batch, and charges the ring re-form
+//                        plus parameter re-broadcast to the step time.
+//   * kStraggler      -- the device's measured compute time is multiplied
+//                        by `factor` for `duration` iterations (the max
+//                        over devices, i.e. the step time, absorbs it).
+//   * kCommDegrade    -- all-reduce bandwidth is divided and ring latency
+//                        multiplied by `factor` for `duration` iterations.
+//
+// Iteration indices are epoch-local.  Events naming an already-dead device
+// are no-ops, so one plan can be replayed over multiple epochs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fastchg::parallel {
+
+enum class FaultKind { kDeviceFailure, kStraggler, kCommDegrade };
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceFailure;
+  index_t iteration = 0;  ///< epoch-local iteration the event fires at
+  int device = -1;        ///< target device (ignored for kCommDegrade)
+  double factor = 1.0;    ///< compute multiplier / comm slowdown (>= 1)
+  index_t duration = 1;   ///< iterations the effect lasts (not failures)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Deterministic random plan: each (device, iteration) cell fails with
+  /// `failure_prob`, straggles with `straggler_prob` (factor uniform in
+  /// [2, 8], duration 1..3), and each iteration degrades comms with
+  /// `comm_prob` (factor uniform in [2, 10], duration 1..3).  Identical
+  /// seeds produce identical plans.
+  static FaultPlan random(std::uint64_t seed, int num_devices,
+                          index_t iterations, double failure_prob,
+                          double straggler_prob = 0.0,
+                          double comm_prob = 0.0);
+};
+
+/// Parse a CLI fault-plan spec: comma/semicolon-separated events of
+///   fail:D@I          device D fails at iteration I
+///   slow:D@I*F#N      device D runs F-times slower for N iterations from I
+///   comm@I*F#N        comms degrade F-fold for N iterations from I
+/// e.g. "fail:3@1,slow:0@2*4#3,comm@5*2.5#2".  Throws on malformed specs.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Stateless query view over a FaultPlan (nullptr plan = no faults).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan* plan) : plan_(plan) {}
+
+  /// Devices scheduled to fail exactly at `iter`.
+  std::vector<int> failures_at(index_t iter) const;
+  /// Product of active straggler factors for `device` at `iter` (1 = none).
+  double compute_multiplier(int device, index_t iter) const;
+  /// Product of active comm-degradation factors at `iter` (1 = none).
+  double comm_factor(index_t iter) const;
+
+ private:
+  const FaultPlan* plan_;
+};
+
+}  // namespace fastchg::parallel

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/error.hpp"
+
 namespace fastchg::train {
 
 Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
@@ -43,6 +45,22 @@ void Adam::step() {
 
 void Adam::zero_grad() {
   for (Var& p : params_) p.zero_grad();
+}
+
+void Adam::restore_state(std::vector<Tensor> m, std::vector<Tensor> v,
+                         index_t t) {
+  FASTCHG_CHECK(m.size() == params_.size() && v.size() == params_.size(),
+                "Adam::restore_state: " << m.size() << "/" << v.size()
+                                        << " moment tensors for "
+                                        << params_.size() << " parameters");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    FASTCHG_CHECK(same_shape(m[i].shape(), params_[i].shape()) &&
+                      same_shape(v[i].shape(), params_[i].shape()),
+                  "Adam::restore_state: moment " << i << " shape mismatch");
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 }  // namespace fastchg::train

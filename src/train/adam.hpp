@@ -22,6 +22,13 @@ class Adam {
   float lr() const { return lr_; }
   index_t step_count() const { return t_; }
 
+  /// Checkpoint access: first/second moment estimates in parameter order.
+  const std::vector<Tensor>& exp_avg() const { return m_; }
+  const std::vector<Tensor>& exp_avg_sq() const { return v_; }
+  /// Restore moments and the bias-correction step count saved from another
+  /// Adam over a structurally identical parameter list.
+  void restore_state(std::vector<Tensor> m, std::vector<Tensor> v, index_t t);
+
  private:
   std::vector<Var> params_;
   std::vector<Tensor> m_, v_;

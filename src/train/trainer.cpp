@@ -1,13 +1,26 @@
 #include "train/trainer.hpp"
 
+#include <cmath>
 #include <optional>
 
 #include "autograd/ops.hpp"
 #include "core/rng.hpp"
 #include "data/prefetch.hpp"
 #include "perf/timer.hpp"
+#include "train/checkpoint.hpp"
 
 namespace fastchg::train {
+
+bool gradients_finite(const std::vector<ag::Var>& params) {
+  for (const ag::Var& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (index_t k = 0; k < p.numel(); ++k) {
+      if (!std::isfinite(g[k])) return false;
+    }
+  }
+  return true;
+}
 
 Trainer::Trainer(model::CHGNet& net, const TrainConfig& cfg)
     : net_(net),
@@ -15,7 +28,8 @@ Trainer::Trainer(model::CHGNet& net, const TrainConfig& cfg)
       init_lr_(cfg.scale_lr ? scaled_init_lr(cfg.batch_size, cfg.lr_k,
                                              cfg.base_lr)
                             : cfg.base_lr),
-      opt_(net.parameters(), init_lr_) {}
+      opt_(net.parameters(), init_lr_),
+      shuffle_rng_(cfg.shuffle_seed) {}
 
 EpochStats Trainer::train_epoch(const data::Dataset& ds,
                                 const std::vector<index_t>& train_idx,
@@ -26,8 +40,8 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
   perf::Timer timer;
   EpochStats st;
   std::vector<index_t> order = train_idx;
-  Rng rng(cfg_.shuffle_seed + static_cast<std::uint64_t>(epoch));
-  rng.shuffle(order);
+  shuffle_rng_ = Rng(cfg_.shuffle_seed + static_cast<std::uint64_t>(epoch));
+  shuffle_rng_.shuffle(order);
 
   const index_t steps_per_epoch = std::max<index_t>(
       1, (static_cast<index_t>(order.size()) + cfg_.batch_size - 1) /
@@ -50,19 +64,43 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
   std::optional<data::PrefetchLoader> loader;
   if (cfg_.prefetch) loader.emplace(ds, plan, /*depth=*/2);
 
+  const std::vector<ag::Var> params = net_.parameters();
   index_t micro = 0;
   for (std::size_t step = 0; step < plan.size(); ++step) {
     data::Batch b = cfg_.prefetch ? std::move(*loader->next())
                                   : data::collate_indices(ds, plan[step]);
 
-    opt_.set_lr(sched.lr_at(global_step_));
+    opt_.set_lr(sched.lr_at(global_step_) * backoff_scale_);
     if (micro == 0) opt_.zero_grad();
     model::ModelOutput out = net_.forward(b, model::ForwardMode::kTrain);
     LossResult loss = chgnet_loss(out, b, cfg_.weights, cfg_.huber_delta);
-    ag::backward(accum == 1
-                     ? loss.total
-                     : ag::ops::mul_scalar(loss.total,
-                                           1.0f / static_cast<float>(accum)));
+
+    // With the guard on, a non-finite loss skips backward entirely (its
+    // gradients would be garbage anyway); a finite loss can still produce
+    // non-finite gradients, so those are checked after backward.
+    bool finite = !cfg_.guard_nonfinite || std::isfinite(loss.total.item());
+    if (finite) {
+      ag::backward(accum == 1
+                       ? loss.total
+                       : ag::ops::mul_scalar(
+                             loss.total, 1.0f / static_cast<float>(accum)));
+      if (cfg_.guard_nonfinite) finite = gradients_finite(params);
+    }
+
+    if (cfg_.guard_nonfinite && !finite) {
+      // Training guard: drop this step (and the current accumulation
+      // window) so NaN/Inf never reaches the weights, and back the LR off
+      // for the rest of the run.  The scheduler still advances, keeping
+      // the LR trajectory aligned with the planned step count.
+      opt_.zero_grad();
+      micro = 0;
+      backoff_scale_ *= cfg_.lr_backoff;
+      ++st.skipped_steps;
+      ++skipped_steps_;
+      ++global_step_;
+      continue;
+    }
+
     if (++micro == accum || step + 1 == plan.size()) {
       opt_.step();
       micro = 0;
@@ -83,13 +121,14 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
   st.stress_loss /= n;
   st.magmom_loss /= n;
   st.seconds = timer.seconds();
+  next_epoch_ = epoch + 1;
   return st;
 }
 
 std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
                                      const std::vector<index_t>& train_idx) {
   std::vector<EpochStats> history;
-  for (index_t e = 0; e < cfg_.epochs; ++e) {
+  for (index_t e = next_epoch_; e < cfg_.epochs; ++e) {
     history.push_back(train_epoch(ds, train_idx, e));
     if (on_epoch) on_epoch(e, history.back());
   }
@@ -106,7 +145,7 @@ std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
   index_t since_best = 0;
   std::vector<Tensor> best_weights;
   auto params = net_.parameters();
-  for (index_t e = 0; e < cfg_.epochs; ++e) {
+  for (index_t e = next_epoch_; e < cfg_.epochs; ++e) {
     EpochStats st = train_epoch(ds, train_idx, e);
     EvalMetrics m = evaluate(ds, val_idx);
     st.val_score = cfg_.weights.energy * m.energy_mae_mev_atom +
@@ -115,7 +154,12 @@ std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
                    cfg_.weights.magmom * m.magmom_mae_mmub;
     history.push_back(st);
     if (on_epoch) on_epoch(e, history.back());
-    if (st.val_score < best_score) {
+    // A NaN val_score must count as "no improvement": NaN comparisons are
+    // all false, so make the branch explicit rather than relying on the
+    // ordering of the two arms.
+    const bool improved =
+        std::isfinite(st.val_score) && st.val_score < best_score;
+    if (improved) {
       best_score = st.val_score;
       since_best = 0;
       best_weights.clear();
@@ -139,6 +183,37 @@ std::vector<EpochStats> Trainer::fit(const data::Dataset& ds,
 EvalMetrics Trainer::evaluate(const data::Dataset& ds,
                               const std::vector<index_t>& idx) const {
   return evaluate_model(net_, ds, idx, cfg_.batch_size);
+}
+
+void Trainer::save_checkpoint(const std::string& path) const {
+  nn::PayloadWriter w;
+  w.put_u64(static_cast<std::uint64_t>(global_step_));
+  w.put_u64(static_cast<std::uint64_t>(next_epoch_));
+  w.put_f32(backoff_scale_);
+  w.put_u64(static_cast<std::uint64_t>(skipped_steps_));
+  std::vector<nn::Section> sections;
+  sections.push_back({kSectionTrainer, w.take()});
+  sections.push_back(adam_section(opt_));
+  sections.push_back(atom_ref_section(net_));
+  sections.push_back(rng_section(kSectionRng, shuffle_rng_));
+  nn::save_parameters(net_, path, sections);
+}
+
+void Trainer::resume(const std::string& path) {
+  const std::vector<nn::Section> sections = nn::load_checkpoint(net_, path);
+  {
+    nn::PayloadReader r(require_section(sections, kSectionTrainer).payload);
+    global_step_ = static_cast<index_t>(r.get_u64());
+    next_epoch_ = static_cast<index_t>(r.get_u64());
+    backoff_scale_ = r.get_f32();
+    skipped_steps_ = static_cast<index_t>(r.get_u64());
+    FASTCHG_CHECK(r.done(), "checkpoint: trainer section has trailing bytes");
+  }
+  restore_adam(opt_, require_section(sections, kSectionAdam));
+  restore_atom_ref(net_, require_section(sections, kSectionAtomRef));
+  if (const nn::Section* s = find_section(sections, kSectionRng)) {
+    restore_rng(shuffle_rng_, *s);
+  }
 }
 
 }  // namespace fastchg::train

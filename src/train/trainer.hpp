@@ -1,5 +1,6 @@
 // Single-device trainer: mini-batch loop, Adam, cosine annealing, optional
-// Eq.-14 LR scaling, per-epoch loss/metric tracking.
+// Eq.-14 LR scaling, per-epoch loss/metric tracking, non-finite training
+// guards, and full-state checkpoint / resume.
 #pragma once
 
 #include <functional>
@@ -34,6 +35,11 @@ struct TrainConfig {
   /// this many consecutive mini-batches (large-batch training on a memory
   /// budget; 1 = off).
   index_t accumulation_steps = 1;
+  /// Training guard: when a step produces a non-finite loss or gradient,
+  /// skip the optimizer update (so NaN/Inf never reaches the weights) and
+  /// multiply the effective LR by `lr_backoff` for the rest of the run.
+  bool guard_nonfinite = true;
+  float lr_backoff = 0.5f;
 };
 
 struct EpochStats {
@@ -44,6 +50,8 @@ struct EpochStats {
   double magmom_loss = 0.0;
   double seconds = 0.0;
   index_t iterations = 0;
+  /// Steps the non-finite guard skipped (loss or gradient NaN/Inf).
+  index_t skipped_steps = 0;
   /// Weighted validation loss (energy+force+stress+magmom MAEs, loss
   /// weights applied); NaN when fit() ran without a validation split.
   double val_score = std::numeric_limits<double>::quiet_NaN();
@@ -53,12 +61,14 @@ class Trainer {
  public:
   Trainer(model::CHGNet& net, const TrainConfig& cfg);
 
-  /// Train on the given dataset rows; returns per-epoch stats.
+  /// Train on the given dataset rows; returns per-epoch stats.  After a
+  /// resume() this continues from the checkpointed epoch up to cfg.epochs.
   std::vector<EpochStats> fit(const data::Dataset& ds,
                               const std::vector<index_t>& train_idx);
 
   /// Train with validation-based early stopping: stops after `patience`
   /// epochs without val_score improvement and restores the best weights.
+  /// A non-finite val_score counts as "no improvement".
   std::vector<EpochStats> fit(const data::Dataset& ds,
                               const std::vector<index_t>& train_idx,
                               const std::vector<index_t>& val_idx,
@@ -72,9 +82,26 @@ class Trainer {
   EvalMetrics evaluate(const data::Dataset& ds,
                        const std::vector<index_t>& idx) const;
 
+  /// Full-state checkpoint: weights, AtomRef, Adam moments, global step,
+  /// epoch position, guard state, and the data-order RNG stream.  Written
+  /// atomically (temp file + rename).  resume() restores all of it so
+  /// continuing the run is bit-identical to never having stopped.
+  void save_checkpoint(const std::string& path) const;
+  void resume(const std::string& path);
+
   /// Effective initial LR after optional Eq.-14 scaling.
   float initial_lr() const { return init_lr_; }
   Adam& optimizer() { return opt_; }
+  /// The next epoch fit() would run (0 on a fresh trainer; restored by
+  /// resume()).
+  index_t next_epoch() const { return next_epoch_; }
+  /// Scheduler steps taken so far (restored by resume()).
+  index_t global_step() const { return global_step_; }
+  /// Cumulative LR multiplier applied by the non-finite guard (1 = never
+  /// triggered).
+  float lr_backoff_scale() const { return backoff_scale_; }
+  /// Total steps skipped by the guard across all epochs.
+  index_t skipped_steps() const { return skipped_steps_; }
 
   /// Optional per-epoch callback (epoch index, stats).
   std::function<void(index_t, const EpochStats&)> on_epoch;
@@ -85,6 +112,14 @@ class Trainer {
   float init_lr_;
   Adam opt_;
   index_t global_step_ = 0;
+  index_t next_epoch_ = 0;
+  float backoff_scale_ = 1.0f;
+  index_t skipped_steps_ = 0;
+  Rng shuffle_rng_{0};  ///< data-order stream; reseeded per epoch
 };
+
+/// True when every accumulated gradient of `params` is finite (params
+/// without a gradient are ignored).
+bool gradients_finite(const std::vector<ag::Var>& params);
 
 }  // namespace fastchg::train

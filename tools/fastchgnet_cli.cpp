@@ -2,6 +2,7 @@
 //
 //   fastchgnet generate --n 512 --seed 7 --out stats        dataset statistics
 //   fastchgnet train    --n 256 --epochs 8 --fast           train + evaluate
+//   fastchgnet dp       --devices 8 --fault-plan fail:3@2   data-parallel train
 //   fastchgnet md       --crystal LiMnO2 --steps 50         run MD
 //   fastchgnet relax    --seed 5                            relax a structure
 //   fastchgnet charges  --seed 5                            infer charges
@@ -22,6 +23,8 @@
 #include "md/observables.hpp"
 #include "md/relax.hpp"
 #include "nn/serialize.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/fault.hpp"
 #include "train/trainer.hpp"
 
 namespace fastchg::cli {
@@ -115,11 +118,31 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   tc.epochs = flag_i(flags, "epochs", 6);
   tc.base_lr = 1e-3f;
   train::Trainer trainer(net, tc);
-  trainer.on_epoch = [](index_t e, const train::EpochStats& st) {
+  if (auto it = flags.find("resume"); it != flags.end()) {
+    trainer.resume(it->second);
+    std::printf("resumed from %s at epoch %lld (global step %lld)\n",
+                it->second.c_str(),
+                static_cast<long long>(trainer.next_epoch()),
+                static_cast<long long>(trainer.global_step()));
+  }
+  const index_t ckpt_every = flag_i(flags, "checkpoint-every", 0);
+  std::string ckpt_path;
+  if (auto it = flags.find("checkpoint"); it != flags.end()) {
+    ckpt_path = it->second;
+  }
+  trainer.on_epoch = [&](index_t e, const train::EpochStats& st) {
     std::printf("epoch %2lld  loss %.4f  (%.1fs)\n",
                 static_cast<long long>(e), st.mean_loss, st.seconds);
+    if (!ckpt_path.empty() && ckpt_every > 0 && (e + 1) % ckpt_every == 0) {
+      trainer.save_checkpoint(ckpt_path);
+      std::printf("  checkpoint -> %s\n", ckpt_path.c_str());
+    }
   };
   trainer.fit(ds, split.train);
+  if (!ckpt_path.empty()) {
+    trainer.save_checkpoint(ckpt_path);
+    std::printf("checkpoint -> %s\n", ckpt_path.c_str());
+  }
   train::EvalMetrics m = trainer.evaluate(ds, split.test);
   std::printf("test MAE: E %.1f meV/atom  F %.1f meV/A  S %.3f GPa  "
               "M %.1f m.muB\n",
@@ -128,6 +151,75 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   if (auto it = flags.find("save"); it != flags.end()) {
     nn::save_parameters(net, it->second);
     std::printf("checkpoint saved to %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_dp(const std::map<std::string, std::string>& flags) {
+  const index_t n = flag_i(flags, "n", 128);
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 7));
+  const index_t epochs = flag_i(flags, "epochs", 4);
+  data::GeneratorConfig gen;
+  gen.num_species = 24;
+  data::Dataset ds = data::Dataset::generate(n, seed, gen);
+  std::vector<index_t> rows(static_cast<std::size_t>(ds.size()));
+  for (index_t i = 0; i < ds.size(); ++i) rows[static_cast<std::size_t>(i)] = i;
+
+  parallel::DataParallelConfig pc;
+  pc.num_devices = static_cast<int>(flag_i(flags, "devices", 4));
+  pc.global_batch = flag_i(flags, "batch", 8 * pc.num_devices);
+  pc.seed = seed;
+  parallel::DataParallelTrainer dp(cli_model_config(flags), pc, seed);
+  std::printf("data-parallel training on %d virtual devices, "
+              "global batch %lld, LR %.2e\n",
+              dp.num_devices(), static_cast<long long>(pc.global_batch),
+              dp.effective_lr());
+
+  parallel::FaultPlan plan;
+  if (auto it = flags.find("fault-plan"); it != flags.end()) {
+    plan = parallel::parse_fault_plan(it->second);
+    std::printf("fault plan: %zu event(s) injected into the first epoch\n",
+                plan.events.size());
+  }
+  index_t start = 0;
+  if (auto it = flags.find("resume"); it != flags.end()) {
+    start = dp.resume(it->second);
+    std::printf("resumed from %s at epoch %lld (%d/%d devices alive)\n",
+                it->second.c_str(), static_cast<long long>(start),
+                dp.num_alive(), dp.num_devices());
+  }
+  const index_t ckpt_every = flag_i(flags, "checkpoint-every", 0);
+  std::string ckpt_path;
+  if (auto it = flags.find("checkpoint"); it != flags.end()) {
+    ckpt_path = it->second;
+  }
+  for (index_t e = start; e < epochs; ++e) {
+    const parallel::FaultPlan* faults =
+        (e == start && !plan.empty()) ? &plan : nullptr;
+    parallel::EpochResult r = dp.train_epoch(ds, rows, e, faults);
+    std::printf("epoch %2lld  loss %.4f  sim %.2fs  wall %.1fs  alive %d",
+                static_cast<long long>(e), r.mean_loss, r.simulated_seconds,
+                r.measured_seconds, dp.num_alive());
+    if (!r.failed_devices.empty()) {
+      std::printf("  failed:");
+      for (int d : r.failed_devices) std::printf(" %d", d);
+      std::printf("  recovery %.2fs  new LR %.2e", r.recovery_seconds,
+                  dp.effective_lr());
+    }
+    if (r.skipped_steps > 0) {
+      std::printf("  skipped %lld", static_cast<long long>(r.skipped_steps));
+    }
+    std::printf("\n");
+    if (!ckpt_path.empty() && ckpt_every > 0 && (e + 1) % ckpt_every == 0) {
+      dp.save_checkpoint(ckpt_path, e + 1);
+      std::printf("  checkpoint -> %s\n", ckpt_path.c_str());
+    }
+  }
+  std::printf("replica divergence: %.3g (0 = DDP invariant holds)\n",
+              static_cast<double>(dp.replica_divergence()));
+  if (!ckpt_path.empty()) {
+    dp.save_checkpoint(ckpt_path, epochs);
+    std::printf("checkpoint -> %s\n", ckpt_path.c_str());
   }
   return 0;
 }
@@ -220,6 +312,9 @@ int usage() {
       "  info                          build and model info\n"
       "  generate --n N --seed S       dataset statistics\n"
       "  train --n N --epochs E [--reference] [--save PATH]\n"
+      "        [--checkpoint PATH --checkpoint-every K] [--resume PATH]\n"
+      "  dp --devices D --epochs E [--fault-plan \"fail:3@2,slow:1@0*4#2\"]\n"
+      "        [--checkpoint PATH --checkpoint-every K] [--resume PATH]\n"
       "  md --crystal NAME --steps N [--nvt --temperature T]\n"
       "  relax --seed S --steps N\n"
       "  charges --seed S              infer oxidation states from magmoms\n");
@@ -234,6 +329,7 @@ int run(int argc, char** argv) {
     if (cmd == "info") return cmd_info();
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "train") return cmd_train(flags);
+    if (cmd == "dp") return cmd_dp(flags);
     if (cmd == "md") return cmd_md(flags);
     if (cmd == "relax") return cmd_relax(flags);
     if (cmd == "charges") return cmd_charges(flags);

@@ -33,14 +33,31 @@ int main() {
   for (index_t i = 0; i < ds.size(); ++i) rows.push_back(i);
   trainer.fit(ds, rows);
 
-  // The Table-II benchmark structure.
+  // The Table-II benchmark structure.  Entry-point validation: the typed
+  // create() rejects broken inputs (and a poisoned model) with a
+  // diagnostic instead of crashing deep inside the graph builder.
   data::Crystal start = data::make_reference_structure("LiMnO2");
   std::printf("\nrunning NVE MD on LiMnO2 (%lld atoms)...\n",
               static_cast<long long>(start.natoms()));
   md::MDConfig mdc;
   mdc.dt_fs = 0.2;
   mdc.init_temperature_k = 200.0;
-  md::MDSimulator sim(net, start, mdc);
+  mdc.max_drift_ev_per_atom = 0.5;  // watchdog: halve dt on an energy jump
+  {
+    data::Crystal broken = start;
+    broken.lattice[1] = broken.lattice[0];  // singular cell
+    auto rejected = md::MDSimulator::create(net, broken, mdc);
+    std::printf("sanity: singular cell rejected as [%s] %s\n",
+                serve::to_string(rejected.code()),
+                rejected.error().message.c_str());
+  }
+  auto made = md::MDSimulator::create(net, start, mdc);
+  if (!made.ok()) {
+    std::fprintf(stderr, "MD setup failed [%s]: %s\n",
+                 serve::to_string(made.code()), made.error().message.c_str());
+    return 2;
+  }
+  md::MDSimulator sim = std::move(made).value();
 
   std::printf("%8s %14s %14s %14s %10s\n", "step", "E_pot (eV)", "E_kin (eV)",
               "E_tot (eV)", "T (K)");
@@ -50,12 +67,20 @@ int main() {
                 static_cast<long long>(sim.steps_taken()),
                 sim.potential_energy(), sim.kinetic_energy(),
                 sim.total_energy(), sim.temperature());
-    if (block < 10) sim.step(5);
+    if (block < 10) {
+      auto r = sim.try_step(5);
+      if (!r.ok()) {
+        std::fprintf(stderr, "MD aborted [%s]: %s\n",
+                     serve::to_string(r.code()), r.error().message.c_str());
+        return 2;
+      }
+    }
   }
   const double drift = sim.total_energy() - e0;
   std::printf("\ntotal-energy drift after %lld steps: %.4f eV "
-              "(NVE: should stay small)\n",
-              static_cast<long long>(sim.steps_taken()), drift);
+              "(NVE: should stay small; %lld dt halvings spent)\n",
+              static_cast<long long>(sim.steps_taken()), drift,
+              static_cast<long long>(sim.dt_halvings_total()));
   const double per_step = sim.step(3);
   std::printf("one-step MD time: %.4f s (Table II measures this quantity)\n",
               per_step);

@@ -5,6 +5,7 @@
 //
 //   $ ./examples/relaxation
 #include <cstdio>
+#include <limits>
 
 #include "md/relax.hpp"
 #include "train/trainer.hpp"
@@ -63,10 +64,27 @@ int main() {
   md::RelaxConfig rc;
   rc.max_steps = 60;
   rc.fmax_tol = 0.5 * worst_fmax;
-  md::RelaxResult res = md::relax(net, worst, rc);
+  // Entry-point validation: try_relax() rejects malformed structures and
+  // non-finite model outputs as typed errors instead of corrupting the
+  // geometry (a NaN coordinate here demonstrates the rejection).
+  {
+    data::Crystal broken = worst;
+    broken.frac[0][0] = std::numeric_limits<double>::quiet_NaN();
+    auto rejected = md::try_relax(net, broken, rc);
+    std::printf("sanity: NaN coordinate rejected as [%s]\n",
+                serve::to_string(rejected.code()));
+  }
+  auto r = md::try_relax(net, worst, rc);
+  if (!r.ok()) {
+    std::fprintf(stderr, "relax failed [%s]: %s\n",
+                 serve::to_string(r.code()), r.error().message.c_str());
+    return 2;
+  }
+  const md::RelaxResult& res = r.value();
   std::printf("steps      : %lld\n", static_cast<long long>(res.steps));
-  std::printf("converged  : %s (|F|max target %.2f eV/A)\n",
-              res.converged ? "yes" : "no", rc.fmax_tol);
+  std::printf("converged  : %s (|F|max target %.2f eV/A%s)\n",
+              res.converged ? "yes" : "no", rc.fmax_tol,
+              res.oscillating ? ", stopped early: oscillating" : "");
   std::printf("energy     : %.4f -> %.4f eV (d = %.4f)\n",
               res.initial_energy, res.final_energy,
               res.final_energy - res.initial_energy);

@@ -29,6 +29,12 @@ double det3(const Mat3& m) {
 
 Mat3 inv3(const Mat3& m) {
   const double d = det3(m);
+  // A singular matrix here is almost always a degenerate lattice that
+  // slipped past validation; dividing by ~0 would propagate Inf/NaN into
+  // every downstream coordinate.  Fail loudly instead (serving entry points
+  // reject such cells with a typed error before ever reaching this).
+  FASTCHG_CHECK(std::isfinite(d) && std::fabs(d) > 1e-12,
+                "inv3: singular or non-finite matrix (det " << d << ")");
   Mat3 inv{};
   inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) / d;
   inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / d;

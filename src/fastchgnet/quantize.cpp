@@ -4,21 +4,38 @@
 
 namespace fastchg::model {
 
-std::vector<std::int8_t> quantize_tensor(Tensor& t, float& scale_out) {
+std::vector<std::int8_t> quantize_tensor(Tensor& t, float& scale_out,
+                                         index_t* nonfinite_out) {
   float max_abs = 0.0f;
   float* p = t.data();
   const index_t n = t.numel();
+  index_t nonfinite = 0;
   for (index_t i = 0; i < n; ++i) {
+    // A single NaN/Inf weight would poison max|w|, giving a NaN scale and a
+    // NaN round-trip for *every* element; keep the scale over the finite
+    // weights only.
+    if (!std::isfinite(p[i])) {
+      ++nonfinite;
+      continue;
+    }
     max_abs = std::max(max_abs, std::fabs(p[i]));
   }
   scale_out = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
   std::vector<std::int8_t> codes(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      // Clamp poisoned weights to exact zero so the dequantized tensor is
+      // finite (the caller decides whether a nonzero count is fatal).
+      codes[static_cast<std::size_t>(i)] = 0;
+      p[i] = 0.0f;
+      continue;
+    }
     const float q = std::nearbyint(p[i] / scale_out);
     const float clamped = std::min(127.0f, std::max(-127.0f, q));
     codes[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(clamped);
     p[i] = clamped * scale_out;  // dequantized value used by inference
   }
+  if (nonfinite_out != nullptr) *nonfinite_out += nonfinite;
   return codes;
 }
 
@@ -28,10 +45,11 @@ QuantizationReport quantize_for_inference(nn::Module& m) {
     Tensor& t = p.node()->value;
     Tensor original = t.clone();
     float scale = 0.0f;
-    (void)quantize_tensor(t, scale);
+    (void)quantize_tensor(t, scale, &rep.nonfinite);
     const float* a = original.data();
     const float* b = t.data();
     for (index_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(a[i])) continue;  // counted, not an error metric
       const double err = std::fabs(static_cast<double>(a[i]) - b[i]);
       rep.max_abs_error = std::max(rep.max_abs_error, err);
       rep.mean_abs_error += err;
@@ -41,8 +59,9 @@ QuantizationReport quantize_for_inference(nn::Module& m) {
     rep.fp32_bytes += static_cast<double>(t.numel()) * 4.0;
     rep.int8_bytes += static_cast<double>(t.numel()) + 4.0;  // codes + scale
   }
-  if (rep.elements > 0) {
-    rep.mean_abs_error /= static_cast<double>(rep.elements);
+  const index_t finite = rep.elements - rep.nonfinite;
+  if (finite > 0) {
+    rep.mean_abs_error /= static_cast<double>(finite);
   }
   return rep;
 }

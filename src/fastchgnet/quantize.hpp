@@ -20,7 +20,12 @@ namespace fastchg::model {
 struct QuantizationReport {
   index_t tensors = 0;
   index_t elements = 0;
-  double max_abs_error = 0.0;   ///< worst |w - dequant(quant(w))|
+  /// Non-finite weights encountered: excluded from the scale computation
+  /// (one NaN would otherwise poison max|w| and with it every weight) and
+  /// clamped to 0 in the dequantized output.  Non-zero here means the
+  /// checkpoint is corrupt; serving should fall back to a clean replica.
+  index_t nonfinite = 0;
+  double max_abs_error = 0.0;   ///< worst |w - dequant(quant(w))|, finite w
   double mean_abs_error = 0.0;
   double fp32_bytes = 0.0;      ///< parameter payload before
   double int8_bytes = 0.0;      ///< payload after (1 byte + shared scale)
@@ -31,7 +36,10 @@ struct QuantizationReport {
 QuantizationReport quantize_for_inference(nn::Module& m);
 
 /// Quantize one tensor (returns the int8 codes; `t` is overwritten with the
-/// dequantized values).  Exposed for tests.
-std::vector<std::int8_t> quantize_tensor(Tensor& t, float& scale_out);
+/// dequantized values).  Non-finite elements are skipped when computing the
+/// scale, coded as 0 and counted into `*nonfinite_out` when given.
+/// Exposed for tests.
+std::vector<std::int8_t> quantize_tensor(Tensor& t, float& scale_out,
+                                         index_t* nonfinite_out = nullptr);
 
 }  // namespace fastchg::model

@@ -1,10 +1,13 @@
 #include "md/md.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "core/rng.hpp"
 #include "data/batch.hpp"
+#include "perf/counters.hpp"
 #include "perf/timer.hpp"
+#include "serve/validate.hpp"
 
 namespace fastchg::md {
 
@@ -15,14 +18,41 @@ double atomic_mass(index_t z) {
 }
 
 MDSimulator::MDSimulator(const model::CHGNet& net, data::Crystal crystal,
-                         MDConfig cfg)
+                         MDConfig cfg, Unvalidated)
     : net_(net),
       crystal_(std::move(crystal)),
       cfg_(cfg),
-      thermo_rng_(cfg.seed + 0x7e4) {
+      thermo_rng_(cfg.seed + 0x7e4),
+      drift_(cfg.max_drift_ev_per_atom, crystal_.natoms()),
+      dt_cur_(cfg.dt_fs) {
   if (cfg_.verlet_skin > 0.0) {
     verlet_.emplace(cfg_.graph, cfg_.verlet_skin);
   }
+  init_velocities();
+}
+
+MDSimulator::MDSimulator(const model::CHGNet& net, data::Crystal crystal,
+                         MDConfig cfg)
+    : MDSimulator(net, std::move(crystal), cfg, Unvalidated{}) {
+  const auto valid = serve::validate_crystal(crystal_, cfg_.limits);
+  FASTCHG_CHECK(valid.ok(), "MD input rejected: " << valid.error().message);
+  const auto forces = try_compute_forces();
+  FASTCHG_CHECK(forces.ok(),
+                "MD initial forward failed: " << forces.error().message);
+  drift_.reset(total_energy());
+}
+
+serve::Result<MDSimulator> MDSimulator::create(const model::CHGNet& net,
+                                               data::Crystal crystal,
+                                               MDConfig cfg) {
+  FASTCHG_SERVE_TRY(serve::validate_crystal(crystal, cfg.limits));
+  MDSimulator sim(net, std::move(crystal), cfg, Unvalidated{});
+  FASTCHG_SERVE_TRY(sim.try_compute_forces());
+  sim.drift_.reset(sim.total_energy());
+  return sim;
+}
+
+void MDSimulator::init_velocities() {
   const index_t n = crystal_.natoms();
   vel_.assign(static_cast<std::size_t>(n), data::Vec3{});
   force_.assign(static_cast<std::size_t>(n), data::Vec3{});
@@ -43,25 +73,54 @@ MDSimulator::MDSimulator(const model::CHGNet& net, data::Crystal crystal,
     for (int d = 0; d < 3; ++d) p[d] += mass_[si] * vel_[si][d];
     mtot += mass_[si];
   }
+  if (mtot <= 0.0) return;
   for (index_t i = 0; i < n; ++i) {
     for (int d = 0; d < 3; ++d) {
       vel_[static_cast<std::size_t>(i)][d] -= p[d] / mtot;
     }
   }
-  compute_forces();
 }
 
-void MDSimulator::compute_forces() {
-  data::Batch b = [&] {
+serve::Result<void> MDSimulator::try_compute_forces() {
+  model::ModelOutput out;
+  const bool used_verlet = verlet_.has_value();
+  try {
     if (verlet_) {
       data::Sample s{crystal_, verlet_->graph(crystal_)};
-      return data::collate({&s});
+      out = net_.forward(data::collate({&s}), model::ForwardMode::kEval);
+    } else {
+      data::Dataset ds = data::Dataset::from_crystals(
+          {crystal_}, cfg_.graph, {}, /*relabel=*/false);
+      out = net_.forward(data::collate_indices(ds, {0}),
+                         model::ForwardMode::kEval);
     }
-    data::Dataset ds = data::Dataset::from_crystals({crystal_}, cfg_.graph,
-                                                    {}, /*relabel=*/false);
-    return data::collate_indices(ds, {0});
-  }();
-  model::ModelOutput out = net_.forward(b, model::ForwardMode::kEval);
+  } catch (const Error& e) {
+    return serve::Result<void>::failure(
+        serve::ErrorCode::kNumericFault,
+        std::string("MD forward failed: ") + e.what());
+  }
+  auto check = serve::check_output(out);
+  if (!check.ok() && used_verlet) {
+    // Graceful degradation: a poisoned output from the skin-cached graph
+    // may come from a stale candidate list; retry once on a from-scratch
+    // graph before declaring a numeric fault, and drop the cache.
+    ++verlet_fallbacks_;
+    perf::count_event("md.verlet_fallback");
+    verlet_.emplace(cfg_.graph, cfg_.verlet_skin);
+    try {
+      data::Dataset ds = data::Dataset::from_crystals(
+          {crystal_}, cfg_.graph, {}, /*relabel=*/false);
+      out = net_.forward(data::collate_indices(ds, {0}),
+                         model::ForwardMode::kEval);
+    } catch (const Error& e) {
+      return serve::Result<void>::failure(
+          serve::ErrorCode::kNumericFault,
+          std::string("MD forward failed after Verlet fallback: ") + e.what());
+    }
+    check = serve::check_output(out);
+  }
+  if (!check.ok()) return check.error();
+
   const float* f = out.forces.value().data();
   for (index_t i = 0; i < crystal_.natoms(); ++i) {
     for (int d = 0; d < 3; ++d) {
@@ -71,14 +130,49 @@ void MDSimulator::compute_forces() {
   }
   potential_ = static_cast<double>(out.energy_per_atom.value().data()[0]) *
                static_cast<double>(crystal_.natoms());
+  return {};
+}
+
+double MDSimulator::fmax() const {
+  double m = 0.0;
+  for (const auto& f : force_) {
+    for (int d = 0; d < 3; ++d) m = std::max(m, std::fabs(f[d]));
+  }
+  return m;
+}
+
+MDFaultSnapshot MDSimulator::make_snapshot(const std::string& reason) const {
+  MDFaultSnapshot s;
+  s.step = steps_;
+  s.dt_fs = dt_cur_;
+  s.halvings = halving_level_;
+  s.potential = potential_;
+  s.kinetic = kinetic_energy();
+  s.temperature = temperature();
+  s.fmax = fmax();
+  s.reason = reason;
+  return s;
 }
 
 double MDSimulator::step(index_t n) {
+  const auto r = try_step(n);
+  FASTCHG_CHECK(r.ok(), "MDSimulator::step: " << r.error().message);
+  return r.value();
+}
+
+serve::Result<double> MDSimulator::try_step(index_t n) {
+  if (n <= 0) return 0.0;
   perf::Timer timer;
-  const data::Mat3 lat_inv = data::inv3(crystal_.lattice);
-  for (index_t it = 0; it < n; ++it) {
-    const double dt = cfg_.dt_fs;
-    const index_t na = crystal_.natoms();
+  const index_t na = crystal_.natoms();
+  for (index_t it = 0; it < n;) {
+    // Snapshot the committed state so a faulted attempt can roll back.
+    const std::vector<data::Vec3> frac0 = crystal_.frac;
+    const std::vector<data::Vec3> vel0 = vel_;
+    const std::vector<data::Vec3> force0 = force_;
+    const double pot0 = potential_;
+
+    const double dt = dt_cur_;
+    const data::Mat3 lat_inv = data::inv3(crystal_.lattice);
     // Half-kick + drift.
     std::vector<data::Vec3> accel(static_cast<std::size_t>(na));
     for (index_t i = 0; i < na; ++i) {
@@ -95,17 +189,70 @@ double MDSimulator::step(index_t n) {
         crystal_.frac[si][d] = f;
       }
     }
-    compute_forces();
-    // Second half-kick with the new forces.
-    for (index_t i = 0; i < na; ++i) {
-      const auto si = static_cast<std::size_t>(i);
-      for (int d = 0; d < 3; ++d) {
-        const double a_new = kAccel * force_[si][d] / mass_[si];
-        vel_[si][d] += 0.5 * (accel[si][d] + a_new) * dt;
+    const auto forces = try_compute_forces();
+    bool faulted = !forces.ok();
+    std::string reason = faulted ? forces.error().message : "";
+    if (!faulted) {
+      // Second half-kick with the new forces.
+      for (index_t i = 0; i < na; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        for (int d = 0; d < 3; ++d) {
+          const double a_new = kAccel * force_[si][d] / mass_[si];
+          vel_[si][d] += 0.5 * (accel[si][d] + a_new) * dt;
+        }
+      }
+      const double fm = fmax();
+      if (fm > cfg_.max_force_ev_a) {
+        faulted = true;
+        std::ostringstream os;
+        os << "force explosion: |F|max " << fm << " eV/A exceeds "
+           << cfg_.max_force_ev_a;
+        reason = os.str();
+      } else if (drift_.enabled()) {
+        const double e = total_energy();
+        if (!drift_.admissible(e)) {
+          faulted = true;
+          std::ostringstream os;
+          os << "energy drift: |dE| " << drift_.step_drift_per_atom(e)
+             << " eV/atom per step exceeds " << cfg_.max_drift_ev_per_atom;
+          reason = os.str();
+        }
       }
     }
+
+    if (faulted) {
+      crystal_.frac = frac0;
+      vel_ = vel0;
+      force_ = force0;
+      potential_ = pot0;
+      if (halving_level_ >= cfg_.max_dt_halvings) {
+        last_fault_ = make_snapshot(reason);
+        perf::count_event("md.watchdog_abort");
+        std::ostringstream os;
+        os << "MD watchdog abort at step " << steps_ << " (dt " << dt_cur_
+           << " fs after " << halving_level_ << " halvings): " << reason;
+        return serve::Result<double>::failure(serve::ErrorCode::kNumericFault,
+                                              os.str());
+      }
+      dt_cur_ *= 0.5;
+      ++halving_level_;
+      ++dt_halvings_total_;
+      clean_streak_ = 0;
+      perf::count_event("md.dt_halved");
+      continue;  // retry this iteration at the reduced dt
+    }
+
     apply_thermostat();
+    drift_.accept(total_energy());
     ++steps_;
+    ++it;
+    // Recover dt toward the configured value after a clean streak.
+    if (halving_level_ > 0 && cfg_.dt_recover_steps > 0 &&
+        ++clean_streak_ >= cfg_.dt_recover_steps) {
+      dt_cur_ = std::min(dt_cur_ * 2.0, cfg_.dt_fs);
+      --halving_level_;
+      clean_streak_ = 0;
+    }
   }
   return timer.seconds() / static_cast<double>(n);
 }
@@ -116,7 +263,7 @@ void MDSimulator::apply_thermostat() {
   if (cfg_.ensemble == Ensemble::kNVTBerendsen) {
     const double t = temperature();
     if (t <= 1e-12) return;
-    double lam2 = 1.0 + cfg_.dt_fs / cfg_.tau_fs * (t0 / t - 1.0);
+    double lam2 = 1.0 + dt_cur_ / cfg_.tau_fs * (t0 / t - 1.0);
     lam2 = std::min(1.5625, std::max(0.64, lam2));  // clamp lambda to [0.8,1.25]
     const double lam = std::sqrt(lam2);
     for (auto& v : vel_) {
@@ -126,7 +273,7 @@ void MDSimulator::apply_thermostat() {
   }
   // Langevin (Ornstein-Uhlenbeck velocity update): exact for the chosen
   // friction, samples the canonical distribution at t0.
-  const double c1 = std::exp(-cfg_.friction_fs * cfg_.dt_fs);
+  const double c1 = std::exp(-cfg_.friction_fs * dt_cur_);
   for (std::size_t i = 0; i < vel_.size(); ++i) {
     const double sigma = std::sqrt((1.0 - c1 * c1) * kBoltzmann * t0 /
                                    (mass_[i] * kAmuA2Fs2ToEv));

@@ -2,14 +2,24 @@
 // CHGNet/FastCHGNet model as the force provider.  One structure is processed
 // per step, exactly the low-GPU-utilization regime Table II measures.
 //
+// Robustness (docs/serving.md): inputs are validated at construction, every
+// forward runs under the serve-layer numeric watchdog, and a force-explosion
+// guard plus an optional per-step energy-drift monitor auto-halve dt with
+// bounded retries before aborting with a diagnostic snapshot.  try_step()
+// reports all of this as typed errors; step() keeps the legacy throwing API.
+//
 // Units: A, fs, eV, amu, K.
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "chgnet/model.hpp"
 #include "data/verlet.hpp"
 #include "data/dataset.hpp"
+#include "serve/error.hpp"
+#include "serve/validate.hpp"
+#include "serve/watchdog.hpp"
 
 namespace fastchg::md {
 
@@ -42,15 +52,56 @@ struct MDConfig {
   /// filters it per step, doing a full O(N^2) rebuild when an atom has
   /// drifted more than skin/2.  0 rebuilds from scratch every step.
   double verlet_skin = 0.0;
+
+  // --- Numeric watchdogs ---------------------------------------------
+  /// Force-explosion guard: |F| component beyond this (eV/A) faults the
+  /// step.  Generous by default; anything near it is unphysical.
+  double max_force_ev_a = 1e4;
+  /// Per-step |dE_total| bound (eV/atom) for the energy-drift monitor;
+  /// <= 0 disables it (sensible only for NVE).
+  double max_drift_ev_per_atom = 0.0;
+  /// A faulted step restores state and retries with dt/2, at most this many
+  /// halvings deep; exhausted -> typed kNumericFault with a snapshot.
+  int max_dt_halvings = 4;
+  /// After this many consecutive clean steps at reduced dt, dt doubles back
+  /// toward dt_fs (0 pins dt at the reduced value forever).
+  index_t dt_recover_steps = 16;
+  /// Validation limits applied to the starting crystal.
+  serve::ValidationLimits limits;
+};
+
+/// Diagnostic state captured when the watchdog aborts a trajectory.
+struct MDFaultSnapshot {
+  index_t step = 0;          ///< steps completed before the abort
+  double dt_fs = 0.0;        ///< dt at the failing attempt
+  int halvings = 0;          ///< dt halvings already spent
+  double potential = 0.0;    ///< eV, last committed state
+  double kinetic = 0.0;      ///< eV
+  double temperature = 0.0;  ///< K
+  double fmax = 0.0;         ///< eV/A, largest |F| component observed
+  std::string reason;
 };
 
 class MDSimulator {
  public:
+  /// Validates `crystal` and computes initial forces; throws fastchg::Error
+  /// on invalid input or a poisoned model (legacy API -- prefer create()).
   MDSimulator(const model::CHGNet& net, data::Crystal crystal,
               MDConfig cfg = {});
 
+  /// Typed-error construction: kInvalidInput for a bad crystal,
+  /// kNumericFault when the initial forward is non-finite.
+  static serve::Result<MDSimulator> create(const model::CHGNet& net,
+                                           data::Crystal crystal,
+                                           MDConfig cfg = {});
+
   /// Advance `n` steps; returns mean measured wall seconds per step.
+  /// Throws fastchg::Error when the watchdog aborts (legacy API).
   double step(index_t n = 1);
+
+  /// Advance `n` steps with typed errors: on a watchdog abort the committed
+  /// state is the last healthy step and last_fault() holds the snapshot.
+  serve::Result<double> try_step(index_t n = 1);
 
   const data::Crystal& crystal() const { return crystal_; }
   const std::vector<data::Vec3>& velocities() const { return vel_; }
@@ -62,9 +113,30 @@ class MDSimulator {
   double temperature() const;
   index_t steps_taken() const { return steps_; }
 
+  /// Current integration timestep (<= cfg.dt_fs after watchdog halvings).
+  double dt_current() const { return dt_cur_; }
+  /// Total dt halvings the watchdogs triggered over the run.
+  index_t dt_halvings_total() const { return dt_halvings_total_; }
+  /// Full-graph rebuilds forced by a numeric fault on the Verlet path.
+  index_t verlet_fallbacks() const { return verlet_fallbacks_; }
+  /// Snapshot of the aborting fault (empty while the trajectory is healthy).
+  const std::optional<MDFaultSnapshot>& last_fault() const {
+    return last_fault_;
+  }
+
  private:
-  void compute_forces();  ///< graph rebuild + model eval forward
+  struct Unvalidated {};  ///< create() tag: skip validation + initial forces
+  MDSimulator(const model::CHGNet& net, data::Crystal crystal, MDConfig cfg,
+              Unvalidated);
+
+  void init_velocities();
+  /// Graph rebuild + model eval forward; falls back from the Verlet cache
+  /// to a full rebuild on a numeric fault before reporting one.
+  serve::Result<void> try_compute_forces();
+  /// Largest |F| component of the current forces (eV/A).
+  double fmax() const;
   void apply_thermostat();
+  MDFaultSnapshot make_snapshot(const std::string& reason) const;
 
   const model::CHGNet& net_;
   data::Crystal crystal_;
@@ -76,6 +148,14 @@ class MDSimulator {
   std::vector<double> mass_;       ///< amu
   double potential_ = 0.0;         ///< eV
   index_t steps_ = 0;
+
+  serve::EnergyDriftMonitor drift_;
+  double dt_cur_ = 0.0;
+  int halving_level_ = 0;           ///< current depth below cfg.dt_fs
+  index_t dt_halvings_total_ = 0;
+  index_t clean_streak_ = 0;        ///< consecutive clean steps since halving
+  index_t verlet_fallbacks_ = 0;
+  std::optional<MDFaultSnapshot> last_fault_;
 };
 
 }  // namespace fastchg::md

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "data/batch.hpp"
+#include "serve/validate.hpp"
+#include "serve/watchdog.hpp"
 
 namespace fastchg::md {
 
@@ -15,11 +17,20 @@ struct ForceEval {
   double fmax;
 };
 
-ForceEval eval_forces(const model::CHGNet& net, const data::Crystal& c,
-                      const data::GraphConfig& gc) {
-  data::Dataset ds = data::Dataset::from_crystals({c}, gc, {}, false);
-  data::Batch b = data::collate_indices(ds, {0});
-  model::ModelOutput out = net.forward(b, model::ForwardMode::kEval);
+serve::Result<ForceEval> eval_forces(const model::CHGNet& net,
+                                     const data::Crystal& c,
+                                     const data::GraphConfig& gc) {
+  model::ModelOutput out;
+  try {
+    data::Dataset ds = data::Dataset::from_crystals({c}, gc, {}, false);
+    data::Batch b = data::collate_indices(ds, {0});
+    out = net.forward(b, model::ForwardMode::kEval);
+  } catch (const Error& e) {
+    return serve::Result<ForceEval>::failure(
+        serve::ErrorCode::kNumericFault,
+        std::string("relax forward failed: ") + e.what());
+  }
+  FASTCHG_SERVE_TRY(serve::check_output(out));
   ForceEval fe;
   fe.energy = static_cast<double>(out.energy_per_atom.value().data()[0]) *
               static_cast<double>(c.natoms());
@@ -38,19 +49,21 @@ ForceEval eval_forces(const model::CHGNet& net, const data::Crystal& c,
 
 }  // namespace
 
-RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
-                  const RelaxConfig& cfg) {
+serve::Result<RelaxResult> try_relax(const model::CHGNet& net,
+                                     data::Crystal& crystal,
+                                     const RelaxConfig& cfg) {
+  FASTCHG_SERVE_TRY(serve::validate_crystal(crystal, cfg.limits));
   RelaxResult res;
   const data::Mat3 lat_inv = data::inv3(crystal.lattice);
-  ForceEval fe = eval_forces(net, crystal, cfg.graph);
+  auto first = eval_forces(net, crystal, cfg.graph);
+  if (!first.ok()) return first.error();
+  ForceEval fe = std::move(first).value();
   res.initial_energy = fe.energy;
   res.initial_fmax = fe.fmax;
+  serve::OscillationDetector osc(cfg.osc_window > 0 ? cfg.osc_window : 2);
   double step = cfg.step;
   for (index_t it = 0; it < cfg.max_steps; ++it) {
-    if (fe.fmax <= cfg.fmax_tol) {
-      res.converged = true;
-      break;
-    }
+    if (fe.fmax <= cfg.fmax_tol) break;
     data::Crystal trial = crystal;
     for (index_t i = 0; i < crystal.natoms(); ++i) {
       const auto si = static_cast<std::size_t>(i);
@@ -66,20 +79,41 @@ RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
         trial.frac[si][d] = f;
       }
     }
-    ForceEval fe_trial = eval_forces(net, trial, cfg.graph);
-    if (fe_trial.energy <= fe.energy) {
+    auto trial_eval = eval_forces(net, trial, cfg.graph);
+    if (!trial_eval.ok()) return trial_eval.error();
+    ForceEval fe_trial = std::move(trial_eval).value();
+    const bool accepted = fe_trial.energy <= fe.energy;
+    if (accepted) {
       crystal = std::move(trial);
       fe = std::move(fe_trial);
       step = std::min(step * 1.2, 10 * cfg.step);  // accelerate downhill
     } else {
       step *= 0.5;  // backtrack
-      if (step < 1e-5) break;
+      if (step < 1e-5) {
+        ++res.steps;
+        break;
+      }
     }
     ++res.steps;
+    if (cfg.osc_window > 0 && osc.push(accepted, fe.energy)) {
+      res.oscillating = true;
+      break;
+    }
   }
+  // Test the final accepted state too: a run that reaches the tolerance on
+  // its last iteration (or whose loop ended exactly at max_steps) must
+  // still report convergence.
+  res.converged = fe.fmax <= cfg.fmax_tol;
   res.final_fmax = fe.fmax;
   res.final_energy = fe.energy;
   return res;
+}
+
+RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
+                  const RelaxConfig& cfg) {
+  auto r = try_relax(net, crystal, cfg);
+  FASTCHG_CHECK(r.ok(), "relax: " << r.error().message);
+  return std::move(r).value();
 }
 
 }  // namespace fastchg::md

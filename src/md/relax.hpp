@@ -1,9 +1,16 @@
 // Structure relaxation: damped steepest descent on model forces with an
 // adaptive step and a displacement cap (a light-weight stand-in for FIRE).
+//
+// try_relax() is the typed-error entry point: the input crystal is
+// validated, every forward runs under the serve-layer numeric watchdog, and
+// a step-size oscillation detector stops runs that thrash around a point
+// they cannot improve.  relax() keeps the legacy throwing API.
 #pragma once
 
 #include "chgnet/model.hpp"
 #include "data/dataset.hpp"
+#include "serve/error.hpp"
+#include "serve/validate.hpp"
 
 namespace fastchg::md {
 
@@ -13,10 +20,17 @@ struct RelaxConfig {
   double step = 0.02;        ///< initial step, A per unit force
   double max_disp = 0.1;     ///< per-step displacement cap, A
   data::GraphConfig graph;
+  /// Oscillation detector window (iterations); 0 disables it.
+  index_t osc_window = 8;
+  /// Input validation limits (see serve/validate.hpp).
+  serve::ValidationLimits limits;
 };
 
 struct RelaxResult {
   bool converged = false;
+  /// Stopped early: the line search kept flip-flopping with no energy
+  /// progress (typically a noisy or non-conservative force field).
+  bool oscillating = false;
   index_t steps = 0;
   double initial_fmax = 0.0;  ///< eV/A
   double final_fmax = 0.0;    ///< eV/A
@@ -25,6 +39,14 @@ struct RelaxResult {
 };
 
 /// Relax `crystal` in place under the model's potential-energy surface.
+/// kInvalidInput for a bad structure, kNumericFault when a forward emits a
+/// missing or non-finite output; on error `crystal` holds the last accepted
+/// (still finite) geometry.
+serve::Result<RelaxResult> try_relax(const model::CHGNet& net,
+                                     data::Crystal& crystal,
+                                     const RelaxConfig& cfg = {});
+
+/// Legacy API: like try_relax but throws fastchg::Error on a typed error.
 RelaxResult relax(const model::CHGNet& net, data::Crystal& crystal,
                   const RelaxConfig& cfg = {});
 

@@ -138,6 +138,18 @@ std::vector<int> FaultInjector::failures_at(index_t iter) const {
   return out;
 }
 
+index_t FaultInjector::transient_failures_at(int device, index_t iter) const {
+  index_t d = 0;
+  if (!plan_) return d;
+  for (const FaultEvent& ev : plan_->events) {
+    if (ev.kind == FaultKind::kDeviceFailure && ev.device == device &&
+        ev.iteration == iter) {
+      d = std::max(d, ev.duration);
+    }
+  }
+  return d;
+}
+
 double FaultInjector::compute_multiplier(int device, index_t iter) const {
   double f = 1.0;
   if (!plan_) return f;

@@ -68,6 +68,11 @@ class FaultInjector {
 
   /// Devices scheduled to fail exactly at `iter`.
   std::vector<int> failures_at(index_t iter) const;
+  /// Transient-fault view used by the serving layer: a kDeviceFailure event
+  /// with duration d at `iter` fails the first d attempts of request `iter`
+  /// (the trainer instead treats failures as permanent ring departures).
+  /// Returns the max duration over matching events; 0 = no fault scheduled.
+  index_t transient_failures_at(int device, index_t iter) const;
   /// Product of active straggler factors for `device` at `iter` (1 = none).
   double compute_multiplier(int device, index_t iter) const;
   /// Product of active comm-degradation factors at `iter` (1 = none).

@@ -27,6 +27,18 @@ void track_free(std::uint64_t bytes) {
   c.bytes_live -= (bytes <= c.bytes_live) ? bytes : c.bytes_live;
 }
 
+void count_event(const char* name, std::uint64_t n) {
+  counters().events[name] += n;
+}
+
+std::uint64_t event_count(const std::string& name) {
+  const Counters& c = counters();
+  auto it = c.events.find(name);
+  return it == c.events.end() ? 0 : it->second;
+}
+
+void reset_events() { counters().events.clear(); }
+
 void reset_kernels() {
   Counters& c = counters();
   c.kernel_launches = 0;

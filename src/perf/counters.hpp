@@ -26,6 +26,9 @@ struct Counters {
   // Per-op-name launch counts (for attribution tables in benches).
   std::map<std::string, std::uint64_t> per_op;
   bool per_op_enabled = false;
+  // Robustness events (serve-layer fallbacks, MD watchdog trips, retries);
+  // always on -- these fire orders of magnitude less often than kernels.
+  std::map<std::string, std::uint64_t> events;
 };
 
 Counters& counters();
@@ -38,6 +41,14 @@ void count_kernels(const char* name, std::uint64_t n);
 
 void track_alloc(std::uint64_t bytes);
 void track_free(std::uint64_t bytes);
+
+/// Record `n` occurrences of a robustness event (e.g. "serve.fp32_fallback",
+/// "md.dt_halved").  See docs/serving.md for the event vocabulary.
+void count_event(const char* name, std::uint64_t n = 1);
+/// Occurrences recorded for `name` (0 when never fired).
+std::uint64_t event_count(const std::string& name);
+/// Clear the event map.
+void reset_events();
 
 /// Reset launch counter and per-op map (memory counters are left alone).
 void reset_kernels();

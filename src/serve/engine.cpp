@@ -1,0 +1,198 @@
+#include "serve/engine.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "data/batch.hpp"
+#include "perf/counters.hpp"
+
+namespace fastchg::serve {
+
+InferenceEngine::InferenceEngine(const model::CHGNet& net, EngineConfig cfg)
+    : net_(net), cfg_(cfg) {
+  if (cfg_.quantize) {
+    replica_ = std::make_unique<model::CHGNet>(net.config(), /*seed=*/0);
+    replica_->copy_parameters_from(net);
+    if (net.has_atom_ref()) {
+      replica_->set_atom_ref(net.atom_ref().to_vector());
+    }
+    quant_report_ = model::quantize_for_inference(*replica_);
+  }
+}
+
+void InferenceEngine::set_fault_plan(const parallel::FaultPlan* plan) {
+  injector_ = parallel::FaultInjector(plan);
+}
+
+Result<Prediction> InferenceEngine::forward_checked(
+    const model::CHGNet& m, const data::Crystal& c) const {
+  model::ModelOutput out;
+  try {
+    data::Dataset ds = data::Dataset::from_crystals({c}, cfg_.graph, {},
+                                                    /*relabel=*/false);
+    data::Batch b = data::collate_indices(ds, {0});
+    out = m.forward(b, model::ForwardMode::kEval);
+  } catch (const Error& e) {
+    // The request passed validation, so a throw here is a serving-side
+    // fault (graph/forward invariant), not a bad request.
+    return Result<Prediction>::failure(
+        ErrorCode::kNumericFault, std::string("forward failed: ") + e.what());
+  }
+  FASTCHG_SERVE_TRY(check_output(out));
+
+  const index_t n = c.natoms();
+  Prediction p;
+  p.energy = static_cast<double>(out.energy_per_atom.value().data()[0]) *
+             static_cast<double>(n);
+  p.forces.resize(static_cast<std::size_t>(n));
+  const float* f = out.forces.value().data();
+  for (index_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      p.forces[static_cast<std::size_t>(i)][d] =
+          static_cast<double>(f[i * 3 + d]);
+    }
+  }
+  const float* s = out.stress.value().data();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      p.stress[i][j] = static_cast<double>(s[i * 3 + j]);
+    }
+  }
+  if (out.magmom.defined()) {
+    const float* mm = out.magmom.value().data();
+    p.magmom.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      p.magmom[static_cast<std::size_t>(i)] = static_cast<double>(mm[i]);
+    }
+  }
+  return p;
+}
+
+Result<Prediction> InferenceEngine::serve_one(const data::Crystal& c,
+                                              double deadline_ms,
+                                              double queued_ms) {
+  perf::Timer timer;
+  double simulated_ms = 0.0;
+  const auto elapsed = [&] {
+    return timer.millis() + simulated_ms + queued_ms;
+  };
+
+  if (auto v = validate_crystal(c, cfg_.limits); !v.ok()) {
+    ++stats_.rejected_invalid;
+    return v.error();
+  }
+
+  // Injected transient faults: this request maps to the plan's iteration
+  // `seq` on device 0.  Each faulted attempt is retried after an
+  // exponential backoff until the fault clears or retries run out.
+  const index_t seq = request_seq_++;
+  simulated_ms += cfg_.base_latency_ms * injector_.compute_multiplier(0, seq);
+  index_t pending = injector_.transient_failures_at(0, seq);
+  int retries = 0;
+  while (pending > 0 && retries < cfg_.max_retries) {
+    simulated_ms += cfg_.backoff_base_ms * std::ldexp(1.0, retries);
+    ++retries;
+    --pending;
+    ++stats_.retries;
+    perf::count_event("serve.retry");
+  }
+  if (pending > 0) {
+    ++stats_.overloaded;
+    std::ostringstream os;
+    os << "transient device fault persisted after " << retries
+       << " retry attempt(s) (request " << seq << ")";
+    return Result<Prediction>::failure(ErrorCode::kOverloaded, os.str());
+  }
+  if (elapsed() > deadline_ms) {
+    ++stats_.timeouts;
+    std::ostringstream os;
+    os << "deadline " << deadline_ms << " ms exceeded before forward ("
+       << elapsed() << " ms elapsed)";
+    return Result<Prediction>::failure(ErrorCode::kTimeout, os.str());
+  }
+
+  // Forward on the serving path; a numeric fault on the quantized replica
+  // degrades to the retained fp32 model instead of failing the request.
+  bool degraded = false;
+  Result<Prediction> r =
+      forward_checked(replica_ ? *replica_ : net_, c);
+  if (!r.ok() && r.code() == ErrorCode::kNumericFault && replica_) {
+    perf::count_event("serve.fp32_fallback");
+    degraded = true;
+    r = forward_checked(net_, c);
+  }
+  if (!r.ok()) {
+    ++stats_.numeric_faults;
+    return r.error();
+  }
+  if (elapsed() > deadline_ms) {
+    ++stats_.timeouts;
+    std::ostringstream os;
+    os << "deadline " << deadline_ms << " ms exceeded (" << elapsed()
+       << " ms elapsed)";
+    return Result<Prediction>::failure(ErrorCode::kTimeout, os.str());
+  }
+  if (degraded) {
+    ++stats_.degraded;
+    if (cfg_.strict) {
+      return Result<Prediction>::failure(
+          ErrorCode::kDegraded,
+          "quantized path faulted; strict mode refuses the fp32 fallback "
+          "reply");
+    }
+  }
+
+  Prediction p = std::move(r).value();
+  p.degraded = degraded;
+  p.retries = retries;
+  p.latency_ms = elapsed();
+  ++stats_.served;
+  return p;
+}
+
+Result<Prediction> InferenceEngine::predict(const data::Crystal& c,
+                                            double deadline_ms) {
+  ++stats_.submitted;
+  const double deadline =
+      deadline_ms < 0 ? cfg_.default_deadline_ms : deadline_ms;
+  return serve_one(c, deadline, /*queued_ms=*/0.0);
+}
+
+Result<std::size_t> InferenceEngine::submit(data::Crystal c,
+                                            double deadline_ms) {
+  ++stats_.submitted;
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++stats_.overloaded;
+    std::ostringstream os;
+    os << "admission queue full (" << queue_.size() << "/"
+       << cfg_.queue_capacity << ")";
+    return Result<std::size_t>::failure(ErrorCode::kOverloaded, os.str());
+  }
+  const double deadline =
+      deadline_ms < 0 ? cfg_.default_deadline_ms : deadline_ms;
+  queue_.push_back(Queued{std::move(c), deadline, perf::Timer()});
+  return queue_.size() - 1;
+}
+
+std::vector<Result<Prediction>> InferenceEngine::drain() {
+  std::vector<Result<Prediction>> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    const double waited_ms = q.enqueued.millis();
+    if (waited_ms > q.deadline_ms) {
+      ++stats_.timeouts;
+      std::ostringstream os;
+      os << "deadline " << q.deadline_ms << " ms expired in queue ("
+         << waited_ms << " ms waited)";
+      out.push_back(
+          Result<Prediction>::failure(ErrorCode::kTimeout, os.str()));
+      continue;
+    }
+    out.push_back(serve_one(q.crystal, q.deadline_ms, waited_ms));
+  }
+  return out;
+}
+
+}  // namespace fastchg::serve

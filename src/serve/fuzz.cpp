@@ -1,0 +1,79 @@
+#include "serve/fuzz.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace fastchg::serve {
+
+const char* to_string(Corruption c) {
+  switch (c) {
+    case Corruption::kNone:            return "none";
+    case Corruption::kEmpty:           return "empty";
+    case Corruption::kBadSpecies:      return "bad_species";
+    case Corruption::kSingularLattice: return "singular_lattice";
+    case Corruption::kSkewedLattice:   return "skewed_lattice";
+    case Corruption::kNanPosition:     return "nan_position";
+    case Corruption::kNanLattice:      return "nan_lattice";
+    case Corruption::kOverlap:         return "overlap";
+    case Corruption::kDenseCell:       return "dense_cell";
+  }
+  return "unknown";
+}
+
+Corruption fuzz_crystal(Rng& rng, data::Crystal& out, double corrupt_prob,
+                        const data::GeneratorConfig& gen) {
+  out = data::random_crystal(rng, gen);
+  if (rng.uniform() >= corrupt_prob) return Corruption::kNone;
+
+  const auto kind = static_cast<Corruption>(rng.randint(
+      static_cast<index_t>(Corruption::kEmpty),
+      static_cast<index_t>(Corruption::kDenseCell)));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  switch (kind) {
+    case Corruption::kEmpty:
+      out.frac.clear();
+      out.species.clear();
+      break;
+    case Corruption::kBadSpecies:
+      out.species[static_cast<std::size_t>(
+          rng.randint(0, out.natoms() - 1))] =
+          rng.uniform() < 0.5 ? 0 : 119 + rng.randint(0, 80);
+      break;
+    case Corruption::kSingularLattice:
+      if (rng.uniform() < 0.5) {
+        out.lattice[1] = {0.0, 0.0, 0.0};          // zero row
+      } else {
+        out.lattice[1] = out.lattice[0];           // duplicated row
+      }
+      break;
+    case Corruption::kSkewedLattice:
+      // Rows nearly linearly dependent: b = a + eps * e1.
+      out.lattice[1] = out.lattice[0];
+      out.lattice[1][0] += 1e-7;
+      break;
+    case Corruption::kNanPosition:
+      out.frac[static_cast<std::size_t>(rng.randint(0, out.natoms() - 1))]
+          [static_cast<std::size_t>(rng.randint(0, 2))] = nan;
+      break;
+    case Corruption::kNanLattice:
+      out.lattice[static_cast<std::size_t>(rng.randint(0, 2))]
+                 [static_cast<std::size_t>(rng.randint(0, 2))] = nan;
+      break;
+    case Corruption::kOverlap:
+      if (out.natoms() >= 2) {
+        out.frac[1] = out.frac[0];
+        out.frac[1][0] += 1e-5;  // well under any physical bond length
+      }
+      break;
+    case Corruption::kDenseCell:
+      for (auto& row : out.lattice) {
+        for (double& x : row) x *= 0.12;  // ~580x density increase
+      }
+      break;
+    case Corruption::kNone:
+      break;
+  }
+  return kind;
+}
+
+}  // namespace fastchg::serve

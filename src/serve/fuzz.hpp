@@ -1,0 +1,35 @@
+// Fuzzed request generator for robustness tests and benches: valid random
+// crystals interleaved with the corruption classes the validation layer must
+// reject (and the watchdogs must survive if one slips through a disabled
+// check).  Deterministic given the Rng state.
+#pragma once
+
+#include "core/rng.hpp"
+#include "data/generator.hpp"
+
+namespace fastchg::serve {
+
+/// The ways a request can be broken.  kNone yields a valid crystal.
+enum class Corruption {
+  kNone,
+  kEmpty,            ///< zero atoms
+  kBadSpecies,       ///< Z = 0 or Z > 118
+  kSingularLattice,  ///< zero or duplicated lattice row
+  kSkewedLattice,    ///< near-singular (ill-conditioned) cell
+  kNanPosition,      ///< non-finite fractional coordinate
+  kNanLattice,       ///< non-finite lattice entry
+  kOverlap,          ///< two atoms on (almost) the same site
+  kDenseCell,        ///< cell shrunk until the neighbor cap trips
+};
+
+/// A random crystal corrupted with probability `corrupt_prob` (the
+/// corruption class is drawn uniformly from the list above, excluding
+/// kNone).  Returns the applied corruption so callers can assert on the
+/// expected outcome.
+Corruption fuzz_crystal(Rng& rng, data::Crystal& out,
+                        double corrupt_prob = 0.5,
+                        const data::GeneratorConfig& gen = {});
+
+const char* to_string(Corruption c);
+
+}  // namespace fastchg::serve

@@ -1,0 +1,148 @@
+#include "serve/validate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace fastchg::serve {
+
+namespace {
+
+Result<void> invalid(const std::string& msg) {
+  return Result<void>::failure(ErrorCode::kInvalidInput, msg);
+}
+
+double frobenius(const data::Mat3& m) {
+  double s = 0.0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) s += m[i][j] * m[i][j];
+  return std::sqrt(s);
+}
+
+bool mat_finite(const data::Mat3& m) {
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (!std::isfinite(m[i][j])) return false;
+  return true;
+}
+
+}  // namespace
+
+double lattice_condition(const data::Mat3& lat) {
+  if (!mat_finite(lat)) return std::numeric_limits<double>::infinity();
+  const double d = data::det3(lat);
+  const double nl = frobenius(lat);
+  // |det| <= ||L||_F^3 always; a determinant below ~eps * scale^3 means the
+  // inverse is numerically meaningless -- report singular instead of
+  // dividing by a denormal.
+  if (std::fabs(d) <= 1e-12 * std::max(1.0, nl * nl * nl)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return nl * frobenius(data::inv3(lat));
+}
+
+double min_interatomic_distance(const data::Crystal& c) {
+  const std::vector<data::Vec3> cart = c.wrapped_cart();
+  const std::size_t n = cart.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      for (int a = -1; a <= 1; ++a) {
+        for (int b = -1; b <= 1; ++b) {
+          for (int g = -1; g <= 1; ++g) {
+            if (i == j && a == 0 && b == 0 && g == 0) continue;
+            const data::Vec3 shift =
+                data::mat_vec(c.lattice, {static_cast<double>(a),
+                                          static_cast<double>(b),
+                                          static_cast<double>(g)});
+            data::Vec3 d{};
+            for (int k = 0; k < 3; ++k) {
+              d[k] = cart[j][k] + shift[k] - cart[i][k];
+            }
+            best = std::min(best, data::norm(d));
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Result<void> validate_crystal(const data::Crystal& c,
+                              const ValidationLimits& lim) {
+  const index_t n = c.natoms();
+  if (n < lim.min_atoms || n > lim.max_atoms) {
+    std::ostringstream os;
+    os << "natoms " << n << " outside [" << lim.min_atoms << ", "
+       << lim.max_atoms << "]";
+    return invalid(os.str());
+  }
+  if (c.species.size() != c.frac.size()) {
+    std::ostringstream os;
+    os << "species/frac size mismatch: " << c.species.size() << " vs "
+       << c.frac.size();
+    return invalid(os.str());
+  }
+  if (!mat_finite(c.lattice)) return invalid("non-finite lattice entry");
+  for (std::size_t i = 0; i < c.frac.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      if (!std::isfinite(c.frac[i][d])) {
+        std::ostringstream os;
+        os << "non-finite fractional coordinate at atom " << i;
+        return invalid(os.str());
+      }
+    }
+  }
+  for (std::size_t i = 0; i < c.species.size(); ++i) {
+    if (c.species[i] < 1 || c.species[i] > lim.max_species_z) {
+      std::ostringstream os;
+      os << "species Z=" << c.species[i] << " at atom " << i
+         << " outside [1, " << lim.max_species_z << "]";
+      return invalid(os.str());
+    }
+  }
+
+  const double vol = c.volume();
+  if (!(vol >= lim.min_volume_per_atom * static_cast<double>(n))) {
+    std::ostringstream os;
+    os << "cell volume " << vol << " A^3 below " << lim.min_volume_per_atom
+       << " A^3/atom (singular or collapsed lattice)";
+    return invalid(os.str());
+  }
+  const double cond = lattice_condition(c.lattice);
+  if (!(cond <= lim.max_lattice_condition)) {
+    std::ostringstream os;
+    os << "lattice condition number " << cond << " exceeds "
+       << lim.max_lattice_condition << " (near-singular cell)";
+    return invalid(os.str());
+  }
+
+  // Density-based neighbor cap: expected in-cutoff neighbors per atom is
+  // rho * (4/3) pi r^3; past the cap the O(N * neighbors) graph build (and
+  // the dense [E, 3S] image matrix) would blow up serving memory.
+  const double r = lim.neighbor_cutoff;
+  const double est =
+      static_cast<double>(n) / vol * (4.0 / 3.0) * 3.14159265358979 * r * r * r;
+  if (est > static_cast<double>(lim.max_neighbors_per_atom)) {
+    std::ostringstream os;
+    os << "estimated " << est << " neighbors/atom within " << r
+       << " A exceeds cap " << lim.max_neighbors_per_atom
+       << " (cell too dense)";
+    return invalid(os.str());
+  }
+
+  if (n >= 1) {
+    // Also covers a lone atom against its own periodic image (shortest
+    // lattice translation).
+    const double dmin = min_interatomic_distance(c);
+    if (!(dmin >= lim.min_interatomic_dist)) {
+      std::ostringstream os;
+      os << "minimum interatomic distance " << dmin << " A below "
+         << lim.min_interatomic_dist << " A (overlapping atoms)";
+      return invalid(os.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace fastchg::serve

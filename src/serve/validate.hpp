@@ -1,0 +1,39 @@
+// Crystal sanity validation applied at every serving entry point (engine,
+// MD, relax, examples, CLI) before a structure can reach the model.
+//
+// The checks mirror the ways a request can break the pipeline downstream:
+// a singular lattice reaches data::inv3 and divides by zero, out-of-range
+// species index past the embedding table, overlapping atoms blow up the
+// oracle/basis, and a pathologically dense cell makes the neighbor list
+// quadratic in memory.  Everything is rejected with a typed kInvalidInput
+// error instead.
+#pragma once
+
+#include "data/crystal.hpp"
+#include "serve/error.hpp"
+
+namespace fastchg::serve {
+
+struct ValidationLimits {
+  index_t min_atoms = 1;
+  index_t max_atoms = 1024;          ///< per-request size cap
+  index_t max_species_z = 118;       ///< atomic numbers must be in [1, this]
+  double min_volume_per_atom = 1.0;  ///< A^3; also rejects |det| ~ 0 cells
+  double max_lattice_condition = 1e4;  ///< Frobenius cond(L) bound
+  double min_interatomic_dist = 0.5;   ///< A, over periodic images
+  double neighbor_cutoff = 6.0;        ///< A, for the density estimate
+  index_t max_neighbors_per_atom = 512;  ///< estimated in-cutoff neighbor cap
+};
+
+/// Frobenius condition number ||L||_F * ||L^-1||_F; +inf for singular L.
+double lattice_condition(const data::Mat3& lat);
+
+/// Minimum distance between any two atom sites (periodic images in
+/// {-1,0,1}^3 included, self-image excluded).  Assumes wrapped fractionals.
+double min_interatomic_distance(const data::Crystal& c);
+
+/// Full crystal sanity check; kInvalidInput with a diagnostic on failure.
+Result<void> validate_crystal(const data::Crystal& c,
+                              const ValidationLimits& lim = {});
+
+}  // namespace fastchg::serve

@@ -1,0 +1,93 @@
+#include "serve/watchdog.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fastchg::serve {
+
+bool tensor_finite(const Tensor& t) {
+  if (!t.defined()) return true;
+  const float* p = t.data();
+  const index_t n = t.numel();
+  for (index_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Result<void> fault(const char* field, const char* what) {
+  std::ostringstream os;
+  os << field << " output " << what;
+  return Result<void>::failure(ErrorCode::kNumericFault, os.str());
+}
+
+Result<void> check_field(const ag::Var& v, const char* field) {
+  if (!v.defined()) return fault(field, "missing from forward");
+  if (!tensor_finite(v.value())) return fault(field, "contains a non-finite value");
+  return {};
+}
+
+}  // namespace
+
+Result<void> check_output(const model::ModelOutput& out) {
+  FASTCHG_SERVE_TRY(check_field(out.energy_per_atom, "energy_per_atom"));
+  FASTCHG_SERVE_TRY(check_field(out.forces, "forces"));
+  FASTCHG_SERVE_TRY(check_field(out.stress, "stress"));
+  // magmom is optional for serving consumers; only scan it when present.
+  if (out.magmom.defined() && !tensor_finite(out.magmom.value())) {
+    return fault("magmom", "contains a non-finite value");
+  }
+  return {};
+}
+
+EnergyDriftMonitor::EnergyDriftMonitor(double max_step_drift_per_atom,
+                                       index_t natoms)
+    : max_step_(max_step_drift_per_atom), natoms_(natoms) {}
+
+void EnergyDriftMonitor::reset(double e_total) {
+  e0_ = e_total;
+  e_prev_ = e_total;
+  has_ref_ = true;
+}
+
+double EnergyDriftMonitor::step_drift_per_atom(double e_total) const {
+  if (!has_ref_ || natoms_ <= 0) return 0.0;
+  return std::fabs(e_total - e_prev_) / static_cast<double>(natoms_);
+}
+
+bool EnergyDriftMonitor::admissible(double e_total) const {
+  if (!enabled() || !has_ref_) return true;
+  if (!std::isfinite(e_total)) return false;
+  return step_drift_per_atom(e_total) <= max_step_;
+}
+
+void EnergyDriftMonitor::accept(double e_total) { e_prev_ = e_total; }
+
+double EnergyDriftMonitor::cumulative_drift_per_atom() const {
+  if (!has_ref_ || natoms_ <= 0) return 0.0;
+  return std::fabs(e_prev_ - e0_) / static_cast<double>(natoms_);
+}
+
+OscillationDetector::OscillationDetector(index_t window, double min_progress)
+    : window_(window < 2 ? 2 : window), min_progress_(min_progress) {}
+
+void OscillationDetector::reset() { recent_.clear(); }
+
+bool OscillationDetector::push(bool accepted, double energy) {
+  recent_.emplace_back(accepted, energy);
+  if (static_cast<index_t>(recent_.size()) > window_) recent_.pop_front();
+  if (static_cast<index_t>(recent_.size()) < window_) return false;
+  index_t rejected = 0;
+  for (const auto& [acc, e] : recent_) {
+    if (!acc) ++rejected;
+  }
+  if (rejected * 2 < window_) return false;
+  const double e_first = recent_.front().second;
+  const double e_last = recent_.back().second;
+  const double progress = std::fabs(e_first - e_last);
+  return progress <= min_progress_ * std::max(1.0, std::fabs(e_last));
+}
+
+}  // namespace fastchg::serve

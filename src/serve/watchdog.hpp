@@ -1,0 +1,76 @@
+// Numeric watchdogs for the serving layer.
+//
+// FastCHGNet's decoupled Force/Stress heads mean forces are *not* guaranteed
+// to be conservative derivatives of the energy, so a poisoned weight or an
+// out-of-distribution structure can emit non-finite or exploding outputs
+// that silently corrupt a whole MD trajectory.  These helpers catch that at
+// the single place every prediction flows through:
+//   * check_output       -- per-forward non-finite energy/force/stress scan
+//   * EnergyDriftMonitor -- per-step total-energy change bound for MD
+//   * OscillationDetector-- relax step-size thrash detection
+// (the force-explosion guard is a plain threshold in MDConfig; see md.hpp).
+#pragma once
+
+#include <deque>
+
+#include "chgnet/model.hpp"
+#include "serve/error.hpp"
+
+namespace fastchg::serve {
+
+/// True when every element of a defined tensor is finite (an undefined
+/// tensor is vacuously finite -- absence is checked separately).
+bool tensor_finite(const Tensor& t);
+
+/// Check that the heads the serving layer consumes are present and finite.
+/// kNumericFault names the offending field in the message.
+Result<void> check_output(const model::ModelOutput& out);
+
+/// MD watchdog: bounds the per-step total-energy change (eV/atom).  In NVE
+/// the velocity-Verlet step conserves energy to O(dt^2); a jump beyond the
+/// bound means the trajectory left the physical regime (bad forces, dt too
+/// large) and the integrator should back off before the state is committed.
+class EnergyDriftMonitor {
+ public:
+  EnergyDriftMonitor() = default;
+  /// max_step_drift <= 0 disables the monitor (admissible() always true).
+  EnergyDriftMonitor(double max_step_drift_per_atom, index_t natoms);
+
+  void reset(double e_total);
+  bool enabled() const { return max_step_ > 0.0 && natoms_ > 0; }
+  /// Would committing `e_total` as the next step stay within the bound?
+  bool admissible(double e_total) const;
+  /// Commit the accepted step's total energy.
+  void accept(double e_total);
+  /// |E - E0| per atom since reset (diagnostic only, never trips).
+  double cumulative_drift_per_atom() const;
+  double step_drift_per_atom(double e_total) const;
+
+ private:
+  double max_step_ = 0.0;
+  index_t natoms_ = 0;
+  bool has_ref_ = false;
+  double e0_ = 0.0;
+  double e_prev_ = 0.0;
+};
+
+/// Relax watchdog: detects step-size thrash -- the line search alternating
+/// accept/reject around a point it cannot improve.  Feed every iteration's
+/// (accepted, energy) pair; fires when a full window shows at least half
+/// rejections and relative energy progress below `min_progress`.
+class OscillationDetector {
+ public:
+  explicit OscillationDetector(index_t window = 8,
+                               double min_progress = 1e-10);
+
+  /// Record one iteration; true when oscillation is detected.
+  bool push(bool accepted, double energy);
+  void reset();
+
+ private:
+  index_t window_;
+  double min_progress_;
+  std::deque<std::pair<bool, double>> recent_;
+};
+
+}  // namespace fastchg::serve

@@ -6,6 +6,7 @@
 //   fastchgnet md       --crystal LiMnO2 --steps 50         run MD
 //   fastchgnet relax    --seed 5                            relax a structure
 //   fastchgnet charges  --seed 5                            infer charges
+//   fastchgnet serve    --requests 200 --quantize           robust inference
 //   fastchgnet info                                         build/config info
 //
 // Every subcommand prints human-readable output; flags have sensible
@@ -25,6 +26,9 @@
 #include "nn/serialize.hpp"
 #include "parallel/data_parallel.hpp"
 #include "parallel/fault.hpp"
+#include "perf/counters.hpp"
+#include "serve/engine.hpp"
+#include "serve/fuzz.hpp"
 #include "train/trainer.hpp"
 
 namespace fastchg::cli {
@@ -240,14 +244,36 @@ int cmd_md(const std::map<std::string, std::string>& flags) {
     cfg.target_temperature_k =
         static_cast<double>(flag_i(flags, "temperature", 300));
   }
-  md::MDSimulator sim(net, c, cfg);
+  // Typed-error entry point: a bad structure or a poisoned model is a
+  // diagnostic message and exit code, never a crash or a NaN trajectory.
+  auto made = md::MDSimulator::create(net, c, cfg);
+  if (!made.ok()) {
+    std::fprintf(stderr, "md rejected [%s]: %s\n",
+                 serve::to_string(made.code()), made.error().message.c_str());
+    return 2;
+  }
+  md::MDSimulator sim = std::move(made).value();
   md::RdfAccumulator rdf(5.0, 20);
   md::MsdTracker msd(sim.crystal());
   std::printf("%8s %12s %12s %10s %10s\n", "step", "E_tot(eV)", "T(K)",
               "MSD(A^2)", "s/step");
   double per_step = 0.0;
   for (index_t done = 0; done < steps; done += 10) {
-    per_step = sim.step(std::min<index_t>(10, steps - done));
+    auto r = sim.try_step(std::min<index_t>(10, steps - done));
+    if (!r.ok()) {
+      std::fprintf(stderr, "md aborted [%s]: %s\n",
+                   serve::to_string(r.code()), r.error().message.c_str());
+      if (sim.last_fault().has_value()) {
+        const md::MDFaultSnapshot& s = *sim.last_fault();
+        std::fprintf(stderr,
+                     "  snapshot: step %lld, dt %.4f fs, |F|max %.3g eV/A, "
+                     "T %.1f K\n",
+                     static_cast<long long>(s.step), s.dt_fs, s.fmax,
+                     s.temperature);
+      }
+      return 2;
+    }
+    per_step = r.value();
     rdf.add_snapshot(sim.crystal());
     msd.update(sim.crystal());
     std::printf("%8lld %12.4f %12.1f %10.4f %10.4f\n",
@@ -274,13 +300,82 @@ int cmd_relax(const std::map<std::string, std::string>& flags) {
   model::CHGNet net(cli_model_config(flags), 42);
   md::RelaxConfig rc;
   rc.max_steps = flag_i(flags, "steps", 60);
-  md::RelaxResult res = md::relax(net, c, rc);
+  auto r = md::try_relax(net, c, rc);
+  if (!r.ok()) {
+    std::fprintf(stderr, "relax failed [%s]: %s\n",
+                 serve::to_string(r.code()), r.error().message.c_str());
+    return 2;
+  }
+  const md::RelaxResult& res = r.value();
   std::printf("relaxed %lld atoms in %lld steps: E %.4f -> %.4f eV, "
               "|F|max %.3f -> %.3f eV/A (%s)\n",
               static_cast<long long>(c.natoms()),
               static_cast<long long>(res.steps), res.initial_energy,
               res.final_energy, res.initial_fmax, res.final_fmax,
-              res.converged ? "converged" : "not converged");
+              res.converged    ? "converged"
+              : res.oscillating ? "stopped: oscillating"
+                                : "not converged");
+  return 0;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const index_t requests = flag_i(flags, "requests", 200);
+  const auto seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 5));
+  model::CHGNet net(cli_model_config(flags), 42);
+
+  serve::EngineConfig cfg;
+  cfg.quantize = flag_b(flags, "quantize");
+  cfg.strict = flag_b(flags, "strict");
+  cfg.default_deadline_ms =
+      static_cast<double>(flag_i(flags, "deadline-ms", 1000000));
+  serve::InferenceEngine eng(net, cfg);
+
+  parallel::FaultPlan plan;
+  if (auto it = flags.find("fault-plan"); it != flags.end()) {
+    plan = parallel::parse_fault_plan(it->second);
+    eng.set_fault_plan(&plan);
+    std::printf("fault plan: %zu transient event(s) over the request "
+                "stream\n", plan.events.size());
+  }
+  if (cfg.quantize) {
+    const model::QuantizationReport& q = eng.quantization_report();
+    std::printf("serving int8 replica (max |err| %.2e, %lld non-finite "
+                "weight(s) clamped), fp32 retained for fallback\n",
+                q.max_abs_error, static_cast<long long>(q.nonfinite));
+  }
+
+  Rng rng(seed);
+  data::GeneratorConfig gen;
+  gen.min_atoms = 2;
+  gen.max_atoms = 12;
+  std::map<std::string, index_t> outcomes;
+  for (index_t i = 0; i < requests; ++i) {
+    data::Crystal c;
+    (void)serve::fuzz_crystal(rng, c, 0.3, gen);
+    auto r = eng.predict(c);
+    ++outcomes[r.ok() ? (r.value().degraded ? "served (degraded)" : "served")
+                      : serve::to_string(r.code())];
+  }
+  std::printf("%lld fuzzed requests (30%% corrupted):\n",
+              static_cast<long long>(requests));
+  for (const auto& [k, n] : outcomes) {
+    std::printf("  %-18s %6lld\n", k.c_str(), static_cast<long long>(n));
+  }
+  const serve::EngineStats& st = eng.stats();
+  std::printf("stats: served %llu  invalid %llu  numeric %llu  timeout %llu"
+              "  overloaded %llu  retries %llu  degraded %llu\n",
+              static_cast<unsigned long long>(st.served),
+              static_cast<unsigned long long>(st.rejected_invalid),
+              static_cast<unsigned long long>(st.numeric_faults),
+              static_cast<unsigned long long>(st.timeouts),
+              static_cast<unsigned long long>(st.overloaded),
+              static_cast<unsigned long long>(st.retries),
+              static_cast<unsigned long long>(st.degraded));
+  std::printf("recovery events: retry %llu  fp32_fallback %llu\n",
+              static_cast<unsigned long long>(
+                  perf::event_count("serve.retry")),
+              static_cast<unsigned long long>(
+                  perf::event_count("serve.fp32_fallback")));
   return 0;
 }
 
@@ -317,7 +412,9 @@ int usage() {
       "        [--checkpoint PATH --checkpoint-every K] [--resume PATH]\n"
       "  md --crystal NAME --steps N [--nvt --temperature T]\n"
       "  relax --seed S --steps N\n"
-      "  charges --seed S              infer oxidation states from magmoms\n");
+      "  charges --seed S              infer oxidation states from magmoms\n"
+      "  serve --requests N [--quantize --strict --deadline-ms D]\n"
+      "        [--fault-plan \"fail:0@3\"]   fuzzed robust-inference demo\n");
   return 1;
 }
 
@@ -333,7 +430,13 @@ int run(int argc, char** argv) {
     if (cmd == "md") return cmd_md(flags);
     if (cmd == "relax") return cmd_relax(flags);
     if (cmd == "charges") return cmd_charges(flags);
+    if (cmd == "serve") return cmd_serve(flags);
   } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    // Last-ditch guard (bad flag values, std::stoll, allocation): report
+    // and exit instead of aborting with an uncaught exception.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }

@@ -21,6 +21,7 @@ namespace {
 
 int run(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("ablations", argc, argv);
   print_header("Ablations", "design choices the paper asserts, isolated");
 
   data::Dataset ds = bench_dataset(opt.full ? 512 : 192, 321, opt);
@@ -62,6 +63,8 @@ int run(int argc, char** argv) {
     std::printf("  %-28s %12.1f %12.1f %12.3f\n", r.name, r.e_mae, r.f_mae,
                 r.iter_s);
   }
+  rec.metric("dep_eq10.iter.seconds", dep_rows[0].iter_s);
+  rec.metric("dep_eq11.iter.seconds", dep_rows[1].iter_s);
   const double acc_ratio = dep_rows[1].e_mae / dep_rows[0].e_mae;
   std::printf("  paper claim: 'does not affect accuracy' -- measured E-MAE "
               "ratio %.2f\n", acc_ratio);
@@ -77,15 +80,17 @@ int run(int argc, char** argv) {
     model::ModelConfig cfg = bench_model_config(3, opt);
     cfg.packed_linears = packed;
     model::CHGNet net(cfg, 5);
-    perf::reset_kernels();
+    reset_counters();
     perf::set_per_op(true);
     (void)net.forward(b, model::ForwardMode::kEval);
+    const auto matmuls = perf::counters().per_op["matmul"];
     std::printf("  %-10s matmul launches per forward: %llu\n",
                 packed ? "packed" : "unpacked",
-                static_cast<unsigned long long>(
-                    perf::counters().per_op["matmul"]));
+                static_cast<unsigned long long>(matmuls));
+    rec.metric(packed ? "packed.matmul_launches" : "unpacked.matmul_launches",
+               static_cast<double>(matmuls));
     perf::set_per_op(false);
-    perf::reset_kernels();
+    reset_counters();
   }
 
   // ---- C: prefetch ------------------------------------------------------
@@ -132,17 +137,19 @@ int run(int argc, char** argv) {
   std::printf("\n[E] envelope redundancy bypass (Eq. 12 -> Eq. 13)\n");
   {
     ag::Var xi(Tensor::full({4096, 1}, 0.5f), false);
-    perf::reset_kernels();
+    reset_counters();
     perf::set_per_op(true);
     (void)basis::envelope_naive(xi, 8);
     const auto naive_pows = perf::counters().per_op["pow_scalar"];
     const auto naive_total = perf::counters().kernel_launches;
-    perf::reset_kernels();
+    reset_counters();
     (void)basis::envelope_factored(xi, 8);
     const auto fact_pows = perf::counters().per_op["pow_scalar"];
     const auto fact_total = perf::counters().kernel_launches;
     perf::set_per_op(false);
-    perf::reset_kernels();
+    reset_counters();
+    rec.metric("envelope.naive.kernels", static_cast<double>(naive_total));
+    rec.metric("envelope.factored.kernels", static_cast<double>(fact_total));
     std::printf("  naive:    %llu kernels, %llu pow evaluations\n",
                 static_cast<unsigned long long>(naive_total),
                 static_cast<unsigned long long>(naive_pows));
@@ -156,6 +163,7 @@ int run(int argc, char** argv) {
   std::printf("[shape %s] Eq. 11 keeps accuracy within 1.5x of Eq. 10 and "
               "packing reduces GEMM launches\n",
               (acc_ratio < 1.5 && acc_ratio > 0.6) ? "OK" : "MISMATCH");
+  rec.finish();
   return 0;
 }
 

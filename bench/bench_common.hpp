@@ -17,6 +17,9 @@
 #include "chgnet/model.hpp"
 #include "data/batch.hpp"
 #include "data/dataset.hpp"
+#include "perf/counters.hpp"
+#include "perf/report.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::bench {
 
@@ -78,5 +81,53 @@ inline void print_header(const char* exp_id, const char* title) {
 inline void print_rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+/// Full counter reset between bench repetitions.  reset_kernels() /
+/// reset_peak() alone leave the event map and allocation count accumulating
+/// across reps, so rep 1 inherits rep 0's history; this clears everything a
+/// repetition accumulates (the peak watermark rebases to live bytes).
+inline void reset_counters() { perf::counters().reset(); }
+
+/// Collects scalar metrics for one bench binary and writes the
+/// machine-readable report `BENCH_trace_<name>.json` consumed by
+/// tools/perf_gate (lower is better for every metric; keys ending in
+/// ".seconds" get the gate's looser wall-clock tolerance).  With `--trace`
+/// on the command line the span tracer runs for the whole bench and a
+/// Chrome trace `BENCH_chrome_<name>.json` plus a per-phase summary table
+/// are emitted alongside.
+class BenchRecorder {
+ public:
+  BenchRecorder(std::string name, int argc, char** argv)
+      : report_{std::move(name), {}} {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) tracing_ = true;
+    }
+    if (tracing_) perf::trace_enable();
+  }
+
+  void metric(const std::string& key, double value) {
+    report_.metrics[key] = value;
+  }
+
+  /// Write the report (and the Chrome trace when --trace was given).
+  void finish() {
+    const std::string path = "BENCH_trace_" + report_.bench + ".json";
+    perf::write_bench_report(path, report_);
+    std::printf("\nbench report -> %s (%zu metrics)\n", path.c_str(),
+                report_.metrics.size());
+    if (tracing_) {
+      const std::vector<perf::TraceEvent> ev = perf::trace_events();
+      const std::string tr = "BENCH_chrome_" + report_.bench + ".json";
+      perf::write_chrome_trace(tr, ev);
+      std::printf("%s", perf::summary_table(perf::summarize(ev)).c_str());
+      std::printf("chrome trace -> %s (%zu spans)\n", tr.c_str(), ev.size());
+      perf::trace_disable();
+    }
+  }
+
+ private:
+  perf::BenchReport report_;
+  bool tracing_ = false;
+};
 
 }  // namespace fastchg::bench

@@ -22,6 +22,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace parallel;
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fault_recovery", argc, argv);
   print_header("Fault recovery",
                "checkpoint overhead + elastic recovery cost, 8 devices");
 
@@ -65,6 +66,9 @@ int run(int argc, char** argv) {
   std::printf("  one train epoch  : %.2f s -> save every epoch costs "
               "%.3f%% overhead\n",
               ep.seconds, 100.0 * save_s / std::max(1e-9, ep.seconds));
+  rec.metric("checkpoint.save.seconds", save_s);
+  rec.metric("checkpoint.resume.seconds", load_s);
+  rec.metric("checkpoint.file_bytes", static_cast<double>(file_bytes));
 
   // -- Part 2: elastic recovery. Kill k of 8 devices mid-epoch and compare
   //    the simulated epoch cost against the failure-free run.
@@ -100,6 +104,9 @@ int run(int argc, char** argv) {
     shape_ok = shape_ok && dp.num_alive() == 8 - kills && div == 0.0f &&
                std::isfinite(r.mean_loss) &&
                (kills == 0 || r.recovery_seconds > 0.0);
+    const std::string key = "kills" + std::to_string(kills);
+    rec.metric(key + ".sim_epoch.seconds", r.simulated_seconds);
+    rec.metric(key + ".recovery.seconds", r.recovery_seconds);
   }
 
   print_rule();
@@ -107,6 +114,7 @@ int run(int argc, char** argv) {
               "epoch always completes on the survivors\n", baseline_s);
   std::printf("[shape %s] kills shrink the ring, replicas stay bit-identical,"
               " recovery is charged\n", shape_ok ? "OK" : "MISMATCH");
+  rec.finish();
   return shape_ok ? 0 : 1;
 }
 

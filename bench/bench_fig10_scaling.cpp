@@ -33,6 +33,7 @@ void print_points(const char* title, const std::vector<parallel::ScalingPoint>& 
 int run(int argc, char** argv) {
   using namespace parallel;
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fig10_scaling", argc, argv);
   print_header("Fig. 10", "strong & weak scaling on the virtual cluster");
 
   // 1. Calibrate the cost model on real iterations of FastCHGNet.
@@ -80,6 +81,15 @@ int run(int argc, char** argv) {
   print_points("(b) weak scaling, 512 samples/GPU", weak, paper_weak_spd,
                paper_weak_eff);
 
+  for (const auto& p : strong) {
+    rec.metric("strong.gpus" + std::to_string(p.devices) + ".epoch.seconds",
+               p.epoch_seconds);
+  }
+  for (const auto& p : weak) {
+    rec.metric("weak.gpus" + std::to_string(p.devices) + ".epoch.seconds",
+               p.epoch_seconds);
+  }
+
   print_rule();
   bool shape_ok = true;
   for (std::size_t i = 1; i < strong.size(); ++i) {
@@ -93,6 +103,7 @@ int run(int argc, char** argv) {
   std::printf("[shape %s] monotone sub-linear strong speedup with decaying "
               "efficiency; weak efficiency below 100%% and above strong\n",
               shape_ok ? "OK" : "MISMATCH");
+  rec.finish();
   return 0;
 }
 

@@ -25,6 +25,7 @@ void print_histogram(const char* name,
 
 int run(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fig5_distribution", argc, argv);
   print_header("Fig. 5", "atom/bond/angle distribution of the dataset");
   const index_t n = opt.full ? 8192 : 2048;
   data::Dataset ds = bench_dataset(n, 20250705, opt);
@@ -48,6 +49,12 @@ int run(int argc, char** argv) {
               tail_ratio_bonds);
   std::printf("[shape %s] frequencies are long-tail distributed\n",
               tail_ratio_bonds > 3.0 ? "OK" : "MISMATCH");
+  // Lower-is-better convention: gate on the means staying put (a generator
+  // regression shows up as a drifted distribution).
+  rec.metric("mean_atoms", st.mean_atoms);
+  rec.metric("mean_bonds", st.mean_bonds);
+  rec.metric("mean_angles", st.mean_angles);
+  rec.finish();
   return 0;
 }
 

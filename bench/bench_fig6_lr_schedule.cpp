@@ -15,6 +15,7 @@ namespace {
 
 int run(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fig6_lr_schedule", argc, argv);
   print_header("Fig. 6", "large-batch convergence: default vs scaled LR");
   const index_t n = opt.full ? 2048 : 512;
   const index_t epochs = opt.full ? 30 : 10;
@@ -78,6 +79,9 @@ int run(int argc, char** argv) {
   if (runs[1].final.magmom_mae_mmub < runs[0].final.magmom_mae_mmub) ++wins;
   std::printf("[shape %s] scaled LR wins on %d/4 properties "
               "(paper: 4/4)\n", wins >= 3 ? "OK" : "MISMATCH", wins);
+  rec.metric("scaled.energy_mae_mev_atom", runs[1].final.energy_mae_mev_atom);
+  rec.metric("scaled.force_mae_mev_a", runs[1].final.force_mae_mev_a);
+  rec.finish();
   return 0;
 }
 

@@ -29,8 +29,7 @@ Measurement measure_iteration(model::CHGNet& net, const data::Batch& b,
   Measurement m;
   for (int r = 0; r < reps; ++r) {
     net.zero_grad();
-    perf::reset_kernels();
-    perf::reset_peak();
+    reset_counters();
     perf::Timer t;
     model::ModelOutput out = net.forward(b, model::ForwardMode::kTrain);
     train::LossResult loss = train::chgnet_loss(out, b);
@@ -49,6 +48,7 @@ const char* kStageNames[4] = {
 
 int run(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fig8_iteration", argc, argv);
   print_header("Fig. 8", "iteration time / kernel count / memory, "
                          "step-by-step optimization");
   const int reps = opt.full ? 3 : 2;
@@ -79,6 +79,13 @@ int run(int argc, char** argv) {
                   stage, kStageNames[stage], res[stage][bi].seconds,
                   static_cast<unsigned long long>(res[stage][bi].kernels),
                   res[stage][bi].peak_bytes / 1048576.0);
+      const std::string key = "stage" + std::to_string(stage) + ".batch" +
+                              std::to_string(batches[bi]);
+      rec.metric(key + ".seconds", res[stage][bi].seconds);
+      rec.metric(key + ".kernels",
+                 static_cast<double>(res[stage][bi].kernels));
+      rec.metric(key + ".peak_bytes",
+                 static_cast<double>(res[stage][bi].peak_bytes));
     }
   }
 
@@ -138,6 +145,7 @@ int run(int argc, char** argv) {
   std::printf("[shape %s] every stage helps; decoupling dominates time+"
               "memory; batching dominates kernel count\n",
               shape_ok ? "OK" : "MISMATCH");
+  rec.finish();
   return 0;
 }
 

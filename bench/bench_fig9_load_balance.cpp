@@ -11,6 +11,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace parallel;
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("fig9_load_balance", argc, argv);
   print_header("Fig. 9", "feature number of default vs load-balance sampler");
 
   data::Dataset ds = bench_dataset(opt.full ? 4096 : 1024, 414, opt);
@@ -60,6 +61,9 @@ int run(int argc, char** argv) {
               static_cast<long long>(sbal.max_load - sbal.min_load));
   std::printf("[shape %s] load-balance sampler cuts CoV several-fold\n",
               sbal.mean_cov < 0.6 * sdef.mean_cov ? "OK" : "MISMATCH");
+  rec.metric("default.mean_cov", sdef.mean_cov);
+  rec.metric("balanced.mean_cov", sbal.mean_cov);
+  rec.finish();
   return 0;
 }
 

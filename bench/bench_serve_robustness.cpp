@@ -24,6 +24,7 @@ const char* code_name(serve::ErrorCode c) { return serve::to_string(c); }
 int run(int argc, char** argv) {
   using namespace serve;
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("serve_robustness", argc, argv);
   print_header("Serving robustness",
                "fuzzed + fault-injected requests, typed errors only");
 
@@ -179,6 +180,11 @@ int run(int argc, char** argv) {
   std::printf("\n[shape %s] zero crashes, zero silent NaN across %d fuzzed "
               "requests + %d MD trajectories\n",
               pass ? "OK" : "MISMATCH", requests, md_runs);
+  rec.metric("per_request.seconds", wall_s / requests);
+  rec.metric("hard_failures", static_cast<double>(degraded_failed));
+  rec.metric("silent_nan", silent_nan ? 1.0 : 0.0);
+  rec.metric("untyped_throws", untyped ? 1.0 : 0.0);
+  rec.finish();
   return pass ? 0 : 1;
 }
 

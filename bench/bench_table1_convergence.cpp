@@ -26,6 +26,7 @@ struct Row {
 
 int run(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("table1_convergence", argc, argv);
   print_header("Table I", "test MAE of CHGNet vs FastCHGNet variants");
   const index_t n = opt.full ? 1024 : 384;
   const index_t epochs = opt.full ? 30 : 14;
@@ -121,6 +122,14 @@ int run(int argc, char** argv) {
               heads_have_more_params ? "yes" : "no",
               fs_forces_worse ? "yes" : "no",
               fs_training_fastest ? "yes" : "no");
+  const char* keys[] = {"reference", "wo_head", "fs_head"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rec.metric(std::string(keys[i]) + ".train.seconds",
+               rows[i].train_seconds);
+    rec.metric(std::string(keys[i]) + ".energy_mae_mev_atom",
+               rows[i].metrics.energy_mae_mev_atom);
+  }
+  rec.finish();
   return 0;
 }
 

@@ -62,6 +62,17 @@ void md_step_benchmark(benchmark::State& state, const std::string& model_name,
 }
 
 int run(int argc, char** argv) {
+  BenchRecorder rec("table2_md", argc, argv);
+  // google-benchmark rejects unknown command-line flags, so drop ours
+  // before Initialize sees them.
+  int bargc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") != 0 &&
+        std::strcmp(argv[i], "--full") != 0) {
+      argv[bargc++] = argv[i];
+    }
+  }
+  argc = bargc;
   setup();
   for (const char* crystal : {"LiMnO2", "LiTiPO5", "Li9Co7O16"}) {
     for (const char* model_name :
@@ -103,12 +114,15 @@ int run(int argc, char** argv) {
                 static_cast<long long>(g.num_edges()),
                 static_cast<long long>(g.num_angles()), t_ref, t_fast, spd,
                 paper[idx], t_verlet, t_ref / t_verlet);
+    rec.metric(std::string(crystal) + ".chgnet_step.seconds", t_ref);
+    rec.metric(std::string(crystal) + ".fastchgnet_step.seconds", t_fast);
     ++idx;
   }
   print_rule();
   std::printf("[shape %s] FastCHGNet inference clearly faster on every "
               "structure (paper: 2.63-3.03x)\n",
               shape_ok ? "OK" : "MISMATCH");
+  rec.finish();
   return 0;
 }
 

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "perf/counters.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::basis {
 
@@ -25,6 +26,7 @@ Var AngularBasis::forward(const Var& theta) const {
   FASTCHG_CHECK(theta.value().dim() == 2 && theta.size(1) == 1,
                 "AngularBasis: theta must be [G,1], got "
                     << shape_str(theta.shape()));
+  perf::TraceSpan span("basis.fourier", "basis");
   return fused_ ? forward_fused(theta) : forward_reference(theta);
 }
 

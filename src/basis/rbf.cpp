@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "perf/counters.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::basis {
 
@@ -27,6 +28,7 @@ RadialBasis::RadialBasis(index_t num_basis, double cutoff, int p, bool fused,
 Var RadialBasis::forward(const Var& r) const {
   FASTCHG_CHECK(r.value().dim() == 2 && r.size(1) == 1,
                 "RadialBasis: r must be [E,1], got " << shape_str(r.shape()));
+  perf::TraceSpan span("basis.rbf", "basis");
   return fused_ ? forward_fused(r) : forward_reference(r);
 }
 

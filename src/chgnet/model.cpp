@@ -1,6 +1,7 @@
 #include "chgnet/model.hpp"
 
 #include "autograd/ops.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::model {
 
@@ -181,15 +182,24 @@ ModelOutput CHGNet::forward(const data::Batch& b, ForwardMode mode) const {
   std::optional<ag::NoGradGuard> nograd;
   if (decoupled && mode == ForwardMode::kEval) nograd.emplace();
 
+  perf::TraceSpan span_fwd("model.forward", "model");
   const bool with_strain = !decoupled;
-  BasisOut geo = cfg_.batched_basis ? compute_basis_batched(b, with_strain)
-                                    : compute_basis_serial(b, with_strain);
+  BasisOut geo;
+  {
+    perf::TraceSpan span("model.basis", "model");
+    geo = cfg_.batched_basis ? compute_basis_batched(b, with_strain)
+                             : compute_basis_serial(b, with_strain);
+  }
 
-  FeatureEmbedding::BondFeatures bf = embed_.bonds(geo.rbf);
+  FeatureEmbedding::BondFeatures bf;
   BlockState st;
-  st.v = embed_.atoms(b.species);
-  st.e = bf.e0;
-  if (b.num_angles > 0) st.a = embed_.angles(geo.fourier);
+  {
+    perf::TraceSpan span("model.embed", "model");
+    bf = embed_.bonds(geo.rbf);
+    st.v = embed_.atoms(b.species);
+    st.e = bf.e0;
+    if (b.num_angles > 0) st.a = embed_.angles(geo.fourier);
+  }
 
   GraphTopo topo;
   topo.num_atoms = b.num_atoms;
@@ -202,38 +212,45 @@ ModelOutput CHGNet::forward(const data::Batch& b, ForwardMode mode) const {
   topo.angle_center = &b.angle_center;
 
   Var magmom_features;
-  for (const auto& block : blocks_) {
-    // CHGNet supervises magmoms on the features entering the final block.
-    if (cfg_.magmom_intermediate && block->last()) magmom_features = st.v;
-    block->apply(st, topo, bf.ea, bf.eb);
+  {
+    perf::TraceSpan span("model.interaction", "model");
+    for (const auto& block : blocks_) {
+      // CHGNet supervises magmoms on the features entering the final block.
+      if (cfg_.magmom_intermediate && block->last()) magmom_features = st.v;
+      block->apply(st, topo, bf.ea, bf.eb);
+    }
   }
   if (!magmom_features.defined()) magmom_features = st.v;
 
   ModelOutput outp;
-  outp.energy_per_atom =
-      energy_head_.forward(st.v, b.atom_struct, b.num_structs, b.natoms);
-  if (atom_ref_.defined()) {
-    // AtomRef composition baseline: mean per-species reference energy of
-    // each structure, added as a constant (no force/stress contribution).
-    Var ref_atom = index_select0(constant(atom_ref_), b.species);  // [A,1]
-    Tensor inv_n = Tensor::empty({b.num_structs, 1});
-    for (index_t s = 0; s < b.num_structs; ++s) {
-      inv_n.data()[s] =
-          1.0f / static_cast<float>(b.natoms[static_cast<std::size_t>(s)]);
+  {
+    perf::TraceSpan span("model.readout", "model");
+    outp.energy_per_atom =
+        energy_head_.forward(st.v, b.atom_struct, b.num_structs, b.natoms);
+    if (atom_ref_.defined()) {
+      // AtomRef composition baseline: mean per-species reference energy of
+      // each structure, added as a constant (no force/stress contribution).
+      Var ref_atom = index_select0(constant(atom_ref_), b.species);  // [A,1]
+      Tensor inv_n = Tensor::empty({b.num_structs, 1});
+      for (index_t s = 0; s < b.num_structs; ++s) {
+        inv_n.data()[s] =
+            1.0f / static_cast<float>(b.natoms[static_cast<std::size_t>(s)]);
+      }
+      Var ref_pa = mul(index_add0(b.num_structs, b.atom_struct, ref_atom),
+                       constant(std::move(inv_n)));
+      outp.energy_per_atom = add(outp.energy_per_atom, ref_pa);
     }
-    Var ref_pa = mul(index_add0(b.num_structs, b.atom_struct, ref_atom),
-                     constant(std::move(inv_n)));
-    outp.energy_per_atom = add(outp.energy_per_atom, ref_pa);
-  }
-  outp.magmom = magmom_head_.forward(magmom_features);
+    outp.magmom = magmom_head_.forward(magmom_features);
 
-  if (decoupled) {
-    outp.forces = force_head_->forward(st.e, geo.rij, geo.rlen, b.edge_src,
-                                       b.num_atoms);
-    outp.stress = stress_head_->forward(st.v, b);
-    return outp;
+    if (decoupled) {
+      outp.forces = force_head_->forward(st.e, geo.rij, geo.rlen, b.edge_src,
+                                         b.num_atoms);
+      outp.stress = stress_head_->forward(st.v, b);
+      return outp;
+    }
   }
 
+  perf::TraceSpan span_deriv("model.derivative_readout", "model");
   // Derivative readout: F = -dE/dx, sigma = (1/V) dE/deps.  In training the
   // gradient graph itself must be differentiable (create_graph) so the Huber
   // loss over forces/stress can update the weights -- the second-order pass

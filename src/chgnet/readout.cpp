@@ -1,6 +1,7 @@
 #include "chgnet/readout.hpp"
 
 #include "autograd/ops.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::model {
 
@@ -16,6 +17,7 @@ Var EnergyHead::forward(const Var& atom_feat,
                         const std::vector<index_t>& atom_struct,
                         index_t num_structs,
                         const std::vector<index_t>& natoms) const {
+  perf::TraceSpan span("readout.energy", "model");
   Var per_atom = fc2_.forward(silu(fc1_.forward(atom_feat)));  // [A,1]
   Var per_struct = index_add0(num_structs, atom_struct, per_atom);  // [S,1]
   Tensor inv_n = Tensor::empty({num_structs, 1});
@@ -32,6 +34,7 @@ MagmomHead::MagmomHead(const ModelConfig& cfg, Rng& rng)
 }
 
 Var MagmomHead::forward(const Var& atom_feat) const {
+  perf::TraceSpan span("readout.magmom", "model");
   return proj_.forward(atom_feat);
 }
 

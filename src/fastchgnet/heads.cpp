@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::model {
 
@@ -17,6 +18,7 @@ ForceHead::ForceHead(const ModelConfig& cfg, Rng& rng)
 Var ForceHead::forward(const Var& bond_feat, const Var& rij, const Var& rlen,
                        const std::vector<index_t>& edge_src,
                        index_t num_atoms) const {
+  perf::TraceSpan span("readout.force_head", "model");
   Var n = fc2_.forward(silu(fc1_.forward(bond_feat)));  // [E,1]
   Var dir = div(rij, rlen);                             // unit bond vectors
   Var per_edge = mul(n, dir);                           // [E,3] col-broadcast
@@ -57,6 +59,7 @@ Tensor StressHead::lattice_outer(const Tensor& lattice) {
 
 Var StressHead::forward(const Var& atom_feat,
                         const data::Batch& batch) const {
+  perf::TraceSpan span("readout.stress_head", "model");
   Var coeff = fc2_.forward(silu(fc1_.forward(atom_feat)));  // [A,9]
   // Per-structure lattice outer-product matrices, gathered per atom.
   std::vector<Var> outers;

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "perf/counters.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::nn {
 
@@ -29,6 +30,7 @@ GatedMLP::GatedMLP(index_t in, index_t out, Rng& rng, bool fused)
 }
 
 Var GatedMLP::forward(const Var& x) const {
+  perf::TraceSpan span("nn.gated_mlp", "nn");
   return fused_ ? forward_fused(x) : forward_reference(x);
 }
 

@@ -5,6 +5,7 @@
 
 #include "autograd/ops.hpp"
 #include "perf/timer.hpp"
+#include "perf/trace.hpp"
 #include "train/atom_ref.hpp"
 #include "train/checkpoint.hpp"
 
@@ -197,6 +198,7 @@ EpochResult DataParallelTrainer::train_epoch(
     std::uint64_t max_bytes = 0;
     bool finite = true;
     for (std::size_t d = 0; d < shards.size(); ++d) {
+      perf::TraceSpan span_dev("dp.device_compute", "dp");
       perf::Timer t;
       data::Batch b = data::collate_indices(ds, shards[d]);
       model::CHGNet& net = *replicas_[static_cast<std::size_t>(alive_[d])];
@@ -220,6 +222,7 @@ EpochResult DataParallelTrainer::train_epoch(
     }
 
     if (finite || !cfg_.guard_nonfinite) {
+      perf::TraceSpan span_ar("dp.allreduce", "dp");
       all_reduce_gradients();
       if (cfg_.guard_nonfinite) {
         // A finite loss can still overflow in backward; check the averaged
@@ -238,6 +241,7 @@ EpochResult DataParallelTrainer::train_epoch(
       ++result.skipped_steps;
       ++skipped_steps_;
     } else {
+      perf::TraceSpan span_opt("dp.optimizer", "dp");
       for (int d : alive_) opts_[static_cast<std::size_t>(d)]->step();
     }
 
@@ -282,6 +286,38 @@ EpochResult DataParallelTrainer::train_epoch(
     pending_recovery_s = 0.0;
     it.step_s = it.max_compute_s + it.exposed_comm_s + it.exposed_h2d_s +
                 it.recovery_s;
+    // Per-device simulated-time lanes: each alive device's spans tile its
+    // lane exactly — compute, then slack waiting for the straggler, then the
+    // exposed comm/H2D and any recovery — so every lane advances by step_s
+    // and the trace is an independent witness of the timing ledger.
+    if (perf::trace_enabled()) {
+      for (std::size_t d = 0; d < shards.size(); ++d) {
+        const int dev = alive_[d];
+        double t = sim_trace_cursor_s_;
+        perf::trace_sim_span("compute", "device", dev, t,
+                             it.device_compute_s[d]);
+        t += it.device_compute_s[d];
+        const double slack = it.max_compute_s - it.device_compute_s[d];
+        if (slack > 0.0) {
+          perf::trace_sim_span("straggler_slack", "device", dev, t, slack);
+          t += slack;
+        }
+        if (it.exposed_comm_s > 0.0) {
+          perf::trace_sim_span("allreduce_exposed", "device", dev, t,
+                               it.exposed_comm_s);
+          t += it.exposed_comm_s;
+        }
+        if (it.exposed_h2d_s > 0.0) {
+          perf::trace_sim_span("h2d_exposed", "device", dev, t,
+                               it.exposed_h2d_s);
+          t += it.exposed_h2d_s;
+        }
+        if (it.recovery_s > 0.0) {
+          perf::trace_sim_span("recovery", "device", dev, t, it.recovery_s);
+        }
+      }
+      sim_trace_cursor_s_ += it.step_s;
+    }
     result.simulated_seconds += it.step_s;
     result.iterations.push_back(std::move(it));
     ++iter;
@@ -289,6 +325,13 @@ EpochResult DataParallelTrainer::train_epoch(
   }
   // Recovery charged but never attached to a step (failure on the last
   // iteration) still counts toward the epoch.
+  if (perf::trace_enabled() && pending_recovery_s > 0.0) {
+    for (int dev : alive_) {
+      perf::trace_sim_span("recovery", "device", dev, sim_trace_cursor_s_,
+                           pending_recovery_s);
+    }
+    sim_trace_cursor_s_ += pending_recovery_s;
+  }
   result.simulated_seconds += pending_recovery_s;
   result.mean_loss =
       loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;

@@ -140,6 +140,9 @@ class DataParallelTrainer {
   double recovery_cost_seconds() const;
 
   DataParallelConfig cfg_;
+  /// Simulated-clock cursor for the trace's per-device timeline lanes
+  /// (advances by step_s per iteration, monotone across epochs).
+  double sim_trace_cursor_s_ = 0.0;
   std::vector<std::unique_ptr<model::CHGNet>> replicas_;
   std::vector<std::unique_ptr<train::Adam>> opts_;
   std::vector<int> alive_;  ///< device ids still in the ring, ascending

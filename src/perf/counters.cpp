@@ -7,6 +7,14 @@ Counters& counters() {
   return c;
 }
 
+void Counters::reset() {
+  kernel_launches = 0;
+  per_op.clear();
+  alloc_count = 0;
+  events.clear();
+  bytes_peak = bytes_live;
+}
+
 void count_kernel(const char* name) { count_kernels(name, 1); }
 
 void count_kernels(const char* name, std::uint64_t n) {

@@ -29,6 +29,15 @@ struct Counters {
   // Robustness events (serve-layer fallbacks, MD watchdog trips, retries);
   // always on -- these fire orders of magnitude less often than kernels.
   std::map<std::string, std::uint64_t> events;
+
+  /// Copy of the current accounting state.  Benches snapshot before and
+  /// after a repetition to attribute counts to exactly that repetition.
+  Counters snapshot() const { return *this; }
+  /// Reset everything a bench repetition accumulates: kernel launches,
+  /// per-op map, allocation count, events, and the peak watermark (rebased
+  /// to the currently live bytes -- live allocations still exist).  Without
+  /// this, repetition 1 inherits repetition 0's counts.
+  void reset();
 };
 
 Counters& counters();

@@ -1,0 +1,483 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace fastchg::perf {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader: validates full JSON syntax and
+/// exposes just enough structure (objects of strings/numbers) for the bench
+/// report format.  Self-contained so the repo needs no JSON dependency.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : s_(text) {}
+
+  bool validate() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  // -- primitives shared with the bench-report parser --------------------
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool string(std::string* out = nullptr) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    std::string val;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        switch (esc) {
+          case '"': val += '"'; break;
+          case '\\': val += '\\'; break;
+          case '/': val += '/'; break;
+          case 'b': val += '\b'; break;
+          case 'f': val += '\f'; break;
+          case 'n': val += '\n'; break;
+          case 'r': val += '\r'; break;
+          case 't': val += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            for (int k = 1; k <= 4; ++k) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + k]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            val += '?';  // code point not needed by any caller
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      } else {
+        val += c;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    if (out) *out = std::move(val);
+    return true;
+  }
+
+  bool number(double* out = nullptr) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (out) *out = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool literal(const char* word) {
+    skip_ws();
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  json_escape(os, s.c_str());
+}
+
+/// Shortest float formatting that still round-trips (printf %g at 17 digits
+/// is ugly; 12 significant digits is plenty for metrics and timestamps).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // JSON has no inf/nan; clamp to a sentinel rather than emit invalid JSON.
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : "-1e308";
+  return buf;
+}
+
+}  // namespace
+
+// -- summary ----------------------------------------------------------------
+
+std::vector<PhaseSummary> summarize(const std::vector<TraceEvent>& events) {
+  std::map<std::string, PhaseSummary> by_name;
+  for (const TraceEvent& ev : events) {
+    PhaseSummary& p = by_name[ev.name];
+    const double s = ev.dur_us * 1e-6;
+    if (p.count == 0) {
+      p.name = ev.name;
+      p.min_s = s;
+      p.max_s = s;
+    } else {
+      p.min_s = std::min(p.min_s, s);
+      p.max_s = std::max(p.max_s, s);
+    }
+    ++p.count;
+    p.total_s += s;
+  }
+  std::vector<PhaseSummary> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, p] : by_name) {
+    p.mean_s = p.total_s / static_cast<double>(p.count);
+    rows.push_back(std::move(p));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PhaseSummary& a, const PhaseSummary& b) {
+              return a.total_s > b.total_s;
+            });
+  return rows;
+}
+
+std::string summary_table(const std::vector<PhaseSummary>& rows) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %8s %12s %12s %12s %12s\n", "span",
+                "count", "total", "mean", "min", "max");
+  os << line;
+  for (const PhaseSummary& p : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %8llu %11.4fs %11.6fs %11.6fs %11.6fs\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  p.total_s, p.mean_s, p.min_s, p.max_s);
+    os << line;
+  }
+  return os.str();
+}
+
+// -- Chrome trace_event -----------------------------------------------------
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  // Rebase wall timestamps so the trace opens at ~0 instead of raw
+  // steady_clock microseconds; sim timestamps already start at 0.
+  double wall0 = std::numeric_limits<double>::max();
+  for (const TraceEvent& ev : events) {
+    if (ev.clock == TraceClock::kWall) wall0 = std::min(wall0, ev.ts_us);
+  }
+  if (wall0 == std::numeric_limits<double>::max()) wall0 = 0.0;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << obj;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+       "\"args\":{\"name\":\"wall clock\"}}");
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+       "\"args\":{\"name\":\"virtual cluster (simulated time)\"}}");
+
+  // One thread_name metadata record per lane actually used.
+  std::map<std::pair<int, int>, bool> lanes;  // (pid, tid) -> seen
+  for (const TraceEvent& ev : events) {
+    const int pid = ev.clock == TraceClock::kSim ? 1 : 0;
+    auto key = std::make_pair(pid, ev.lane);
+    if (lanes.emplace(key, true).second) {
+      std::ostringstream m;
+      m << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << ev.lane << ",\"args\":{\"name\":\"";
+      if (pid == 1) {
+        m << "device " << ev.lane;
+      } else {
+        m << "thread " << ev.lane;
+      }
+      m << "\"}}";
+      emit(m.str());
+    }
+  }
+
+  for (const TraceEvent& ev : events) {
+    const int pid = ev.clock == TraceClock::kSim ? 1 : 0;
+    const double ts =
+        ev.clock == TraceClock::kWall ? ev.ts_us - wall0 : ev.ts_us;
+    std::ostringstream e;
+    e << "{\"name\":\"";
+    json_escape(e, ev.name);
+    e << "\",\"cat\":\"";
+    json_escape(e, ev.cat);
+    e << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << ev.lane
+      << ",\"ts\":" << num(ts) << ",\"dur\":" << num(ev.dur_us)
+      << ",\"args\":{\"depth\":" << ev.depth << "}}";
+    emit(e.str());
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  FASTCHG_CHECK(f.good(), "write_chrome_trace: cannot open " << path);
+  f << chrome_trace_json(events);
+  FASTCHG_CHECK(f.good(), "write_chrome_trace: write failed for " << path);
+}
+
+bool json_valid(const std::string& text) {
+  return JsonCursor(text).validate();
+}
+
+// -- bench reports ----------------------------------------------------------
+
+std::string bench_report_json(const BenchReport& r) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"";
+  json_escape(os, r.bench);
+  os << "\",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [k, v] : r.metrics) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    json_escape(os, k);
+    os << "\": " << num(v);
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+BenchReport parse_bench_report(const std::string& json) {
+  FASTCHG_CHECK(json_valid(json),
+                "bench report: malformed JSON (syntax error near byte "
+                    << JsonCursor(json).pos() << ")");
+  JsonCursor c(json);
+  BenchReport r;
+  bool have_bench = false, have_metrics = false;
+  FASTCHG_CHECK(c.eat('{'), "bench report: top-level value must be an object");
+  if (!c.eat('}')) {
+    do {
+      std::string key;
+      FASTCHG_CHECK(c.string(&key), "bench report: expected object key");
+      FASTCHG_CHECK(c.eat(':'), "bench report: expected ':' after key");
+      if (key == "bench") {
+        FASTCHG_CHECK(c.string(&r.bench),
+                      "bench report: \"bench\" must be a string");
+        have_bench = true;
+      } else if (key == "metrics") {
+        FASTCHG_CHECK(c.eat('{'),
+                      "bench report: \"metrics\" must be an object");
+        if (!c.eat('}')) {
+          do {
+            std::string mk;
+            double mv = 0.0;
+            FASTCHG_CHECK(c.string(&mk), "bench report: expected metric key");
+            FASTCHG_CHECK(c.eat(':'), "bench report: expected ':' in metrics");
+            FASTCHG_CHECK(c.number(&mv),
+                          "bench report: metric \"" << mk
+                              << "\" must be a number");
+            r.metrics[mk] = mv;
+          } while (c.eat(','));
+          FASTCHG_CHECK(c.eat('}'), "bench report: unterminated metrics");
+        }
+        have_metrics = true;
+      } else {
+        FASTCHG_CHECK(c.value(), "bench report: bad value for \"" << key
+                                                                  << "\"");
+      }
+    } while (c.eat(','));
+    FASTCHG_CHECK(c.eat('}'), "bench report: unterminated object");
+  }
+  FASTCHG_CHECK(have_bench, "bench report: missing \"bench\" field");
+  FASTCHG_CHECK(have_metrics, "bench report: missing \"metrics\" field");
+  return r;
+}
+
+BenchReport load_bench_report(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FASTCHG_CHECK(f.good(),
+                "bench report: cannot open " << path
+                    << " (missing baseline? see docs/observability.md)");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return parse_bench_report(buf.str());
+  } catch (const Error& e) {
+    FASTCHG_CHECK(false, "bench report " << path << ": " << e.what());
+    throw;  // unreachable; FASTCHG_CHECK throws
+  }
+}
+
+void write_bench_report(const std::string& path, const BenchReport& r) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    FASTCHG_CHECK(f.good(), "bench report: cannot open " << tmp);
+    f << bench_report_json(r);
+    FASTCHG_CHECK(f.good(), "bench report: write failed for " << tmp);
+  }
+  FASTCHG_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "bench report: rename " << tmp << " -> " << path
+                                        << " failed");
+}
+
+// -- regression gate --------------------------------------------------------
+
+bool is_time_metric(const std::string& key) {
+  static const std::string suffix = ".seconds";
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+GateResult gate_compare(const BenchReport& baseline, const BenchReport& fresh,
+                        double tolerance, double time_tolerance) {
+  GateResult g;
+  for (const auto& [key, base] : baseline.metrics) {
+    GateFinding f;
+    f.metric = key;
+    f.baseline = base;
+    f.tolerance = is_time_metric(key) ? time_tolerance : tolerance;
+    auto it = fresh.metrics.find(key);
+    if (it == fresh.metrics.end()) {
+      f.missing = true;
+      g.pass = false;
+    } else {
+      f.fresh = it->second;
+      f.ratio = base != 0.0
+                    ? f.fresh / base
+                    : (f.fresh == 0.0
+                           ? 1.0
+                           : std::numeric_limits<double>::infinity());
+      f.regressed = f.fresh > base * (1.0 + f.tolerance) + 1e-12;
+      if (f.regressed) g.pass = false;
+    }
+    g.findings.push_back(std::move(f));
+  }
+  return g;
+}
+
+std::string gate_table(const GateResult& g) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-36s %14s %14s %8s %8s  %s\n", "metric",
+                "baseline", "fresh", "ratio", "tol", "verdict");
+  os << line;
+  for (const GateFinding& f : g.findings) {
+    if (f.missing) {
+      std::snprintf(line, sizeof(line), "%-36s %14.6g %14s %8s %7.0f%%  %s\n",
+                    f.metric.c_str(), f.baseline, "MISSING", "-",
+                    f.tolerance * 100.0, "FAIL (metric vanished)");
+    } else {
+      std::snprintf(line, sizeof(line), "%-36s %14.6g %14.6g %7.2fx %7.0f%%  %s\n",
+                    f.metric.c_str(), f.baseline, f.fresh, f.ratio,
+                    f.tolerance * 100.0,
+                    f.regressed ? "FAIL (regression)"
+                    : f.ratio < 0.9 ? "ok (improved)"
+                                    : "ok");
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace fastchg::perf

@@ -1,0 +1,109 @@
+// Trace exporters and the perf-regression gate (docs/observability.md).
+//
+// Two views over perf::Trace events:
+//   * Chrome trace_event JSON -- open in chrome://tracing or Perfetto; wall
+//     spans and the virtual cluster's simulated lanes land in separate
+//     process groups, one timeline lane per virtual device;
+//   * flat per-phase summary -- count / total / mean / min / max per span
+//     name, the textual analogue of Fig. 8's iteration decomposition.
+//
+// Plus the machine-readable bench-report format the bench_* binaries emit
+// (BENCH_trace_<name>.json) and the comparison logic tools/perf_gate runs in
+// CI: a fresh report regresses when a metric exceeds the checked-in baseline
+// by more than the tolerance.  Metrics whose key ends in ".seconds" are
+// wall-clock measurements and get their own (larger) tolerance so the gate
+// survives CI machines of different speeds; all other metrics (kernel
+// counts, peak bytes) are deterministic and gate tightly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/trace.hpp"
+
+namespace fastchg::perf {
+
+// -- per-phase summary ------------------------------------------------------
+
+struct PhaseSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Aggregate spans by name (wall and sim spans alike; durations are summed
+/// on each span's own clock).  Sorted by total_s descending.
+std::vector<PhaseSummary> summarize(const std::vector<TraceEvent>& events);
+
+/// Render the summary as an aligned text table.
+std::string summary_table(const std::vector<PhaseSummary>& rows);
+
+// -- Chrome trace_event JSON ------------------------------------------------
+
+/// Serialize events to the Chrome trace_event JSON object format.  Wall
+/// spans go to pid 0 ("wall"), simulated spans to pid 1 ("virtual
+/// cluster"), with thread_name metadata naming every lane ("device N" for
+/// sim lanes).  Wall timestamps are rebased so the earliest wall span
+/// starts at ts 0.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Write chrome_trace_json() to `path` (throws Error on I/O failure).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// Full JSON syntax check (objects, arrays, strings, numbers, literals).
+/// Used by tests to validate exporter output without an external parser.
+bool json_valid(const std::string& text);
+
+// -- bench reports + regression gate ---------------------------------------
+
+/// Flat machine-readable result of one bench run: named scalar metrics,
+/// lower is better for every metric by convention.
+struct BenchReport {
+  std::string bench;                      ///< bench id, e.g. "fig8_iteration"
+  std::map<std::string, double> metrics;  ///< key -> value (lower is better)
+};
+
+std::string bench_report_json(const BenchReport& r);
+/// Parse a bench report; throws Error with a diagnostic on malformed input
+/// (bad JSON, missing "bench"/"metrics", non-numeric metric).
+BenchReport parse_bench_report(const std::string& json);
+/// Load + parse; throws Error naming the path when missing or malformed.
+BenchReport load_bench_report(const std::string& path);
+/// Atomic write (tmp + rename), like the checkpoint writer.
+void write_bench_report(const std::string& path, const BenchReport& r);
+
+/// True for metrics measured in wall seconds (key ends in ".seconds").
+bool is_time_metric(const std::string& key);
+
+struct GateFinding {
+  std::string metric;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double ratio = 0.0;       ///< fresh / baseline (inf when baseline == 0)
+  double tolerance = 0.0;   ///< allowed relative slack for this metric
+  bool regressed = false;   ///< fresh > baseline * (1 + tolerance)
+  bool missing = false;     ///< metric in baseline but absent from fresh
+};
+
+struct GateResult {
+  std::vector<GateFinding> findings;  ///< one per baseline metric
+  bool pass = true;                   ///< no regression, nothing missing
+};
+
+/// Compare a fresh run against the baseline.  Every baseline metric must be
+/// present in the fresh report (a silently vanished metric is itself a
+/// regression of coverage).  `tolerance` gates deterministic metrics;
+/// `time_tolerance` gates ".seconds" metrics.
+GateResult gate_compare(const BenchReport& baseline, const BenchReport& fresh,
+                        double tolerance, double time_tolerance);
+
+/// Render gate findings as an aligned text table.
+std::string gate_table(const GateResult& g);
+
+}  // namespace fastchg::perf

@@ -1,0 +1,179 @@
+#include "perf/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace fastchg::perf {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Small dense thread ids for wall-clock lanes (thread 0 is whichever
+/// thread records first -- normally the main thread).
+std::atomic<int> g_next_thread_lane{0};
+
+int this_thread_lane() {
+  thread_local int lane = g_next_thread_lane.fetch_add(1);
+  return lane;
+}
+
+/// Wall-span nesting depth, per thread.
+thread_local int g_depth = 0;
+
+}  // namespace
+
+struct Trace::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;
+  std::vector<TraceEvent> ring;  // preallocated at enable()
+  std::size_t capacity = 0;
+  std::uint64_t count = 0;  // total recorded since enable()/clear()
+  steady::time_point epoch{};
+};
+
+Trace::Impl& Trace::impl() const {
+  static Impl i;
+  return i;
+}
+
+Trace& Trace::instance() {
+  static Trace t;
+  return t;
+}
+
+void Trace::enable(std::size_t capacity) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.capacity = std::max<std::size_t>(1, capacity);
+  i.ring.assign(i.capacity, TraceEvent{});
+  i.count = 0;
+  i.epoch = steady::now();
+  i.enabled.store(true, std::memory_order_release);
+}
+
+void Trace::disable() {
+  impl().enabled.store(false, std::memory_order_release);
+}
+
+bool Trace::enabled() const {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void Trace::clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.count = 0;
+  i.epoch = steady::now();
+}
+
+void Trace::shutdown() {
+  Impl& i = impl();
+  i.enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.ring.clear();
+  i.ring.shrink_to_fit();
+  i.capacity = 0;
+  i.count = 0;
+}
+
+void Trace::record(const TraceEvent& ev) {
+  Impl& i = impl();
+  if (!i.enabled.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (i.capacity == 0) return;  // enabled flag raced with shutdown()
+  i.ring[static_cast<std::size_t>(i.count % i.capacity)] = ev;
+  ++i.count;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  const std::uint64_t kept =
+      std::min<std::uint64_t>(i.count, i.capacity);
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest surviving slot first, so the pre-sort order is already roughly
+  // chronological even after the ring wrapped.
+  const std::uint64_t first = i.count - kept;
+  for (std::uint64_t k = first; k < i.count; ++k) {
+    out.push_back(i.ring[static_cast<std::size_t>(k % i.capacity)]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.clock != b.clock) return a.clock < b.clock;
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::uint64_t Trace::total_recorded() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.count;
+}
+
+std::uint64_t Trace::dropped() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.count > i.capacity ? i.count - i.capacity : 0;
+}
+
+std::size_t Trace::capacity() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.capacity;
+}
+
+bool trace_enabled() { return Trace::instance().enabled(); }
+void trace_enable(std::size_t capacity) { Trace::instance().enable(capacity); }
+void trace_disable() { Trace::instance().disable(); }
+void trace_clear() { Trace::instance().clear(); }
+std::vector<TraceEvent> trace_events() { return Trace::instance().events(); }
+
+void trace_sim_span(const char* name, const char* cat, int device,
+                    double start_s, double dur_s) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.clock = TraceClock::kSim;
+  ev.lane = device;
+  ev.ts_us = start_s * 1e6;
+  ev.dur_us = dur_s * 1e6;
+  Trace::instance().record(ev);
+}
+
+// Wall timestamps are raw steady_clock microseconds (monotonic); the Chrome
+// exporter rebases them to the earliest wall span so traces start near 0.
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  ++g_depth;
+  start_us_ = std::chrono::duration<double, std::micro>(
+                  steady::now().time_since_epoch())
+                  .count();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double end_us = std::chrono::duration<double, std::micro>(
+                            steady::now().time_since_epoch())
+                            .count();
+  --g_depth;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.clock = TraceClock::kWall;
+  ev.lane = this_thread_lane();
+  ev.ts_us = start_us_;
+  ev.dur_us = end_us - start_us_;
+  ev.depth = g_depth;
+  Trace::instance().record(ev);
+}
+
+}  // namespace fastchg::perf

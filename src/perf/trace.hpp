@@ -1,0 +1,116 @@
+// Hierarchical span tracer for the whole stack (DESIGN.md; docs/observability.md).
+//
+// The paper attributes its 8.3-GPU-day -> 1.53-h speedup through per-phase
+// timing breakdowns (Fig. 8's iteration decomposition).  This tracer gives
+// the reproduction the same visibility: RAII spans on the wall-clock hot
+// paths (basis, interaction blocks, readout, fused GatedMLP, trainer phases,
+// serve pipeline) plus explicit-timestamp spans on the *simulated* clock of
+// the virtual GPU cluster (one lane per virtual device: compute, straggler
+// slack, exposed all-reduce, exposed H2D, recovery).
+//
+// Design constraints:
+//   * near-zero cost when disabled (the default): one relaxed atomic load,
+//     no clock read, no allocation;
+//   * thread-safe when enabled: spans may be recorded from parallel_for
+//     workers and the prefetch thread; a mutex-guarded preallocated ring
+//     buffer keeps recording allocation-free after enable();
+//   * span names are static string literals (never owned), so recording a
+//     span copies two pointers and four numbers.
+//
+// Exporters live in perf/report.hpp: Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and a flat per-phase summary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastchg::perf {
+
+/// Which clock a span's timestamps belong to.  Wall spans are measured on
+/// this machine (microseconds since trace_enable()); sim spans carry the
+/// virtual cluster's simulated time.  The Chrome exporter puts each clock in
+/// its own process group so the two timelines never visually interleave.
+enum class TraceClock : std::uint8_t { kWall = 0, kSim = 1 };
+
+struct TraceEvent {
+  const char* name = "";  ///< static literal; NOT owned
+  const char* cat = "";   ///< static literal; NOT owned
+  TraceClock clock = TraceClock::kWall;
+  int lane = 0;        ///< wall: thread slot; sim: virtual device id
+  double ts_us = 0.0;  ///< span start (us on the event's clock)
+  double dur_us = 0.0; ///< span duration (us)
+  int depth = 0;       ///< nesting depth at record time (wall spans)
+};
+
+/// Global trace sink.  Disabled by default; enable() preallocates the ring
+/// buffer, after which record() never allocates.  When more spans arrive
+/// than the ring holds, the oldest are overwritten and dropped() counts the
+/// overflow -- recording never fails and never blocks on memory.
+class Trace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  static Trace& instance();
+
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const;
+
+  /// Drop all recorded events (capacity and enabled state are kept).
+  void clear();
+  /// Disable and release the ring buffer entirely.
+  void shutdown();
+
+  /// Record one finished span.  No-op when disabled.  Thread-safe.
+  void record(const TraceEvent& ev);
+
+  /// Chronologically sorted snapshot (by clock, then lane, then start time).
+  std::vector<TraceEvent> events() const;
+
+  /// Spans recorded since enable()/clear(), including overwritten ones.
+  std::uint64_t total_recorded() const;
+  /// Spans overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  /// Current ring capacity (0 until the first enable()).
+  std::size_t capacity() const;
+
+ private:
+  Trace() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// -- Free-function conveniences (the instrumentation calls these) ----------
+
+/// One relaxed atomic load; safe to call on any hot path.
+bool trace_enabled();
+void trace_enable(std::size_t capacity = Trace::kDefaultCapacity);
+void trace_disable();
+void trace_clear();
+std::vector<TraceEvent> trace_events();
+
+/// Record a span on a virtual device's *simulated* timeline.  `start_s` and
+/// `dur_s` are simulated seconds (the ledger DataParallelTrainer accounts
+/// in); the exporter shows one lane per device.  No-op when disabled.
+void trace_sim_span(const char* name, const char* cat, int device,
+                    double start_s, double dur_s);
+
+/// RAII wall-clock span: measures from construction to destruction and
+/// records on the calling thread's lane.  `name`/`cat` must be static
+/// string literals.  When tracing is disabled at construction the object is
+/// inert (no clock read, nothing recorded at destruction).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "span");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace fastchg::perf

@@ -5,6 +5,7 @@
 
 #include "data/batch.hpp"
 #include "perf/counters.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::serve {
 
@@ -26,6 +27,7 @@ void InferenceEngine::set_fault_plan(const parallel::FaultPlan* plan) {
 
 Result<Prediction> InferenceEngine::forward_checked(
     const model::CHGNet& m, const data::Crystal& c) const {
+  perf::TraceSpan span_fwd("serve.forward", "serve");
   model::ModelOutput out;
   try {
     data::Dataset ds = data::Dataset::from_crystals({c}, cfg_.graph, {},
@@ -38,7 +40,10 @@ Result<Prediction> InferenceEngine::forward_checked(
     return Result<Prediction>::failure(
         ErrorCode::kNumericFault, std::string("forward failed: ") + e.what());
   }
-  FASTCHG_SERVE_TRY(check_output(out));
+  {
+    perf::TraceSpan span_wd("serve.watchdog", "serve");
+    FASTCHG_SERVE_TRY(check_output(out));
+  }
 
   const index_t n = c.natoms();
   Prediction p;
@@ -71,15 +76,19 @@ Result<Prediction> InferenceEngine::forward_checked(
 Result<Prediction> InferenceEngine::serve_one(const data::Crystal& c,
                                               double deadline_ms,
                                               double queued_ms) {
+  perf::TraceSpan span_req("serve.request", "serve");
   perf::Timer timer;
   double simulated_ms = 0.0;
   const auto elapsed = [&] {
     return timer.millis() + simulated_ms + queued_ms;
   };
 
-  if (auto v = validate_crystal(c, cfg_.limits); !v.ok()) {
-    ++stats_.rejected_invalid;
-    return v.error();
+  {
+    perf::TraceSpan span_val("serve.validate", "serve");
+    if (auto v = validate_crystal(c, cfg_.limits); !v.ok()) {
+      ++stats_.rejected_invalid;
+      return v.error();
+    }
   }
 
   // Injected transient faults: this request maps to the plan's iteration
@@ -160,6 +169,7 @@ Result<Prediction> InferenceEngine::predict(const data::Crystal& c,
 
 Result<std::size_t> InferenceEngine::submit(data::Crystal c,
                                             double deadline_ms) {
+  perf::TraceSpan span_adm("serve.admission", "serve");
   ++stats_.submitted;
   if (queue_.size() >= cfg_.queue_capacity) {
     ++stats_.overloaded;

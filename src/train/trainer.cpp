@@ -7,6 +7,7 @@
 #include "core/rng.hpp"
 #include "data/prefetch.hpp"
 #include "perf/timer.hpp"
+#include "perf/trace.hpp"
 #include "train/checkpoint.hpp"
 
 namespace fastchg::train {
@@ -38,6 +39,7 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
     net_.set_atom_ref(fit_atom_ref(ds, train_idx, net_.config().num_species));
   }
   perf::Timer timer;
+  perf::TraceSpan span_epoch("train.epoch", "train");
   EpochStats st;
   std::vector<index_t> order = train_idx;
   shuffle_rng_ = Rng(cfg_.shuffle_seed + static_cast<std::uint64_t>(epoch));
@@ -67,19 +69,29 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
   const std::vector<ag::Var> params = net_.parameters();
   index_t micro = 0;
   for (std::size_t step = 0; step < plan.size(); ++step) {
-    data::Batch b = cfg_.prefetch ? std::move(*loader->next())
-                                  : data::collate_indices(ds, plan[step]);
+    perf::TraceSpan span_step("train.step", "train");
+    data::Batch b = [&] {
+      perf::TraceSpan span("train.data_prefetch", "train");
+      return cfg_.prefetch ? std::move(*loader->next())
+                           : data::collate_indices(ds, plan[step]);
+    }();
 
     opt_.set_lr(sched.lr_at(global_step_) * backoff_scale_);
     if (micro == 0) opt_.zero_grad();
-    model::ModelOutput out = net_.forward(b, model::ForwardMode::kTrain);
-    LossResult loss = chgnet_loss(out, b, cfg_.weights, cfg_.huber_delta);
+    model::ModelOutput out;
+    LossResult loss;
+    {
+      perf::TraceSpan span("train.forward", "train");
+      out = net_.forward(b, model::ForwardMode::kTrain);
+      loss = chgnet_loss(out, b, cfg_.weights, cfg_.huber_delta);
+    }
 
     // With the guard on, a non-finite loss skips backward entirely (its
     // gradients would be garbage anyway); a finite loss can still produce
     // non-finite gradients, so those are checked after backward.
     bool finite = !cfg_.guard_nonfinite || std::isfinite(loss.total.item());
     if (finite) {
+      perf::TraceSpan span("train.backward", "train");
       ag::backward(accum == 1
                        ? loss.total
                        : ag::ops::mul_scalar(
@@ -102,6 +114,7 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
     }
 
     if (++micro == accum || step + 1 == plan.size()) {
+      perf::TraceSpan span("train.optimizer", "train");
       opt_.step();
       micro = 0;
     }

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "parallel/data_parallel.hpp"
 #include "parallel/scaling.hpp"
+#include "perf/trace.hpp"
 
 namespace fastchg::parallel {
 namespace {
@@ -406,6 +408,74 @@ TEST(Scaling, LoadBalanceImprovesSimulatedEpoch) {
   auto on = strong_scaling(cm, ds, 429046 * 4, balanced);
   auto off = strong_scaling(cm, ds, 429046 * 4, unbalanced);
   EXPECT_LT(on[0].epoch_seconds, off[0].epoch_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// trace vs timing ledger: the simulated-time spans the trainer emits are an
+// independent witness of EpochResult's accounting.  Each alive device lane
+// tiles every step exactly (compute + straggler slack + exposed comm/H2D +
+// recovery = step_s), so each lane's span total must equal
+// simulated_seconds -- including when a fault plan stretches a straggler.
+// ---------------------------------------------------------------------------
+
+std::map<int, double> sim_lane_totals() {
+  std::map<int, double> totals;
+  for (const perf::TraceEvent& e : perf::trace_events()) {
+    if (e.clock == perf::TraceClock::kSim) totals[e.lane] += e.dur_us / 1e6;
+  }
+  return totals;
+}
+
+TEST(DataParallel, TraceMatchesSimulatedLedger) {
+  data::Dataset ds = medium_dataset(32, 7);
+  auto rows = all_rows(ds);
+  DataParallelConfig cfg;
+  cfg.num_devices = 4;
+  cfg.global_batch = 8;  // 4 iterations
+  DataParallelTrainer dp(tiny_fast_config(), cfg, 11);
+  const FaultPlan plan = parse_fault_plan("slow:1@0*4#2");
+  perf::trace_enable();
+  EpochResult res = dp.train_epoch(ds, rows, 0, &plan);
+  const auto totals = sim_lane_totals();
+  perf::Trace::instance().shutdown();
+  ASSERT_EQ(res.iterations.size(), 4u);
+  ASSERT_EQ(totals.size(), 4u);  // one lane per device
+  const double tol = 1e-6 * (1.0 + res.simulated_seconds);
+  for (const auto& [dev, total] : totals) {
+    EXPECT_NEAR(total, res.simulated_seconds, tol) << "device " << dev;
+  }
+  // The straggler actually showed up: device 1's iteration-0 compute is the
+  // epoch max, so everyone else's lane carries straggler slack.
+  EXPECT_EQ(res.iterations[0].max_compute_s,
+            res.iterations[0].device_compute_s[1]);
+}
+
+TEST(DataParallel, TraceLedgerHoldsForSurvivorsAfterFailure) {
+  data::Dataset ds = medium_dataset(32, 7);
+  auto rows = all_rows(ds);
+  DataParallelConfig cfg;
+  cfg.num_devices = 4;
+  cfg.global_batch = 8;
+  DataParallelTrainer dp(tiny_fast_config(), cfg, 11);
+  const FaultPlan plan = parse_fault_plan("fail:2@1");
+  perf::trace_enable();
+  EpochResult res = dp.train_epoch(ds, rows, 0, &plan);
+  const auto totals = sim_lane_totals();
+  perf::Trace::instance().shutdown();
+  ASSERT_EQ(totals.size(), 4u);  // the dead lane keeps its pre-failure spans
+  const double tol = 1e-6 * (1.0 + res.simulated_seconds);
+  for (const auto& [dev, total] : totals) {
+    if (dev == 2) {
+      // Device 2 died at the start of iteration 1: its lane covers exactly
+      // the steps it lived through, strictly less than the epoch.
+      EXPECT_NEAR(total, res.iterations[0].step_s, tol);
+      EXPECT_LT(total, res.simulated_seconds - tol);
+    } else {
+      EXPECT_NEAR(total, res.simulated_seconds, tol) << "device " << dev;
+    }
+  }
+  EXPECT_EQ(res.failed_devices, std::vector<int>{2});
+  EXPECT_GT(res.recovery_seconds, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Tests for the bench-report format and the perf-regression gate that
+// tools/perf_gate runs in CI: round-trip, tolerance behaviour (tight for
+// deterministic metrics, loose for ".seconds"), loud failures on malformed
+// or missing baselines, and trace determinism across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "chgnet/model.hpp"
+#include "core/error.hpp"
+#include "data/dataset.hpp"
+#include "perf/report.hpp"
+#include "perf/trace.hpp"
+#include "train/trainer.hpp"
+
+namespace fastchg::perf {
+namespace {
+
+BenchReport make_report(std::map<std::string, double> metrics) {
+  BenchReport r;
+  r.bench = "unit";
+  r.metrics = std::move(metrics);
+  return r;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BenchReport, JsonRoundTrip) {
+  const BenchReport r = make_report({{"stage0.seconds", 1.25},
+                                     {"stage0.kernels", 14911.0},
+                                     {"stage0.peak_bytes", 3.71e8}});
+  const BenchReport back = parse_bench_report(bench_report_json(r));
+  EXPECT_EQ(back.bench, r.bench);
+  ASSERT_EQ(back.metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.metrics.at("stage0.seconds"), 1.25);
+  EXPECT_DOUBLE_EQ(back.metrics.at("stage0.kernels"), 14911.0);
+}
+
+TEST(BenchReport, FileRoundTripIsAtomicWrite) {
+  const std::string path = temp_path("fastchg_test_report.json");
+  const BenchReport r = make_report({{"a.seconds", 0.5}});
+  write_bench_report(path, r);
+  const BenchReport back = load_bench_report(path);
+  EXPECT_EQ(back.bench, "unit");
+  EXPECT_DOUBLE_EQ(back.metrics.at("a.seconds"), 0.5);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchReport, MissingFileThrowsNamingThePath) {
+  try {
+    load_bench_report("/nonexistent/dir/report.json");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("report.json"), std::string::npos);
+  }
+}
+
+TEST(BenchReport, MalformedJsonThrowsLoudly) {
+  EXPECT_THROW(parse_bench_report("not json at all"), Error);
+  EXPECT_THROW(parse_bench_report("{\"metrics\": {}}"), Error);  // no bench
+  EXPECT_THROW(parse_bench_report("{\"bench\": \"x\"}"), Error);  // no metrics
+  EXPECT_THROW(
+      parse_bench_report("{\"bench\": \"x\", \"metrics\": {\"k\": \"v\"}}"),
+      Error);  // non-numeric metric
+  const std::string path = temp_path("fastchg_test_malformed.json");
+  std::ofstream(path) << "{\"bench\": \"x\", \"metrics\": {";  // truncated
+  EXPECT_THROW(load_bench_report(path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(PerfGate, PassesWithinTolerance) {
+  const BenchReport base = make_report({{"k.kernels", 1000.0},
+                                        {"t.seconds", 1.0}});
+  // +10% on a deterministic metric and +80% on a time metric both sit
+  // inside the (25%, 200%) tolerances.
+  const BenchReport fresh = make_report({{"k.kernels", 1100.0},
+                                         {"t.seconds", 1.8}});
+  const GateResult g = gate_compare(base, fresh, 0.25, 2.0);
+  EXPECT_TRUE(g.pass) << gate_table(g);
+  ASSERT_EQ(g.findings.size(), 2u);
+  for (const GateFinding& f : g.findings) {
+    EXPECT_FALSE(f.regressed);
+    EXPECT_FALSE(f.missing);
+  }
+}
+
+TEST(PerfGate, FailsOnDeterministicSlowdown) {
+  const BenchReport base = make_report({{"k.kernels", 1000.0}});
+  const BenchReport fresh = make_report({{"k.kernels", 1400.0}});  // +40%
+  const GateResult g = gate_compare(base, fresh, 0.25, 2.0);
+  EXPECT_FALSE(g.pass);
+  ASSERT_EQ(g.findings.size(), 1u);
+  EXPECT_TRUE(g.findings[0].regressed);
+  EXPECT_NEAR(g.findings[0].ratio, 1.4, 1e-12);
+  EXPECT_NE(gate_table(g).find("FAIL (regression)"), std::string::npos);
+}
+
+TEST(PerfGate, TightenedBaselineFails) {
+  // The CI acceptance case: halving every baseline value must trip the gate
+  // even though the fresh run itself didn't change.
+  const BenchReport fresh = make_report({{"k.kernels", 1000.0},
+                                         {"m.peak_bytes", 2.0e8},
+                                         {"t.seconds", 1.0}});
+  BenchReport tightened = fresh;
+  for (auto& [k, v] : tightened.metrics) v *= 0.5;
+  EXPECT_FALSE(gate_compare(tightened, fresh, 0.25, 2.0).pass);
+}
+
+TEST(PerfGate, TimeMetricsGetTheLooseTolerance) {
+  const BenchReport base = make_report({{"t.seconds", 1.0}});
+  const BenchReport slow = make_report({{"t.seconds", 2.5}});
+  // 2.5x is inside a 200% time tolerance but far outside 25%.
+  EXPECT_TRUE(gate_compare(base, slow, 0.25, 2.0).pass);
+  EXPECT_FALSE(gate_compare(base, slow, 0.25, 1.0).pass);
+  EXPECT_TRUE(is_time_metric("t.seconds"));
+  EXPECT_FALSE(is_time_metric("t.kernels"));
+  EXPECT_FALSE(is_time_metric("seconds_total"));
+}
+
+TEST(PerfGate, MissingMetricIsACoverageRegression) {
+  const BenchReport base = make_report({{"gone.kernels", 10.0},
+                                        {"kept.kernels", 10.0}});
+  const BenchReport fresh = make_report({{"kept.kernels", 10.0}});
+  const GateResult g = gate_compare(base, fresh, 0.25, 2.0);
+  EXPECT_FALSE(g.pass);
+  bool saw_missing = false;
+  for (const GateFinding& f : g.findings) {
+    if (f.metric == "gone.kernels") saw_missing = f.missing;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_NE(gate_table(g).find("MISSING"), std::string::npos);
+}
+
+TEST(PerfGate, ExtraFreshMetricsAreAllowed) {
+  // New instrumentation must not fail the gate until the baseline is
+  // regenerated to include it.
+  const BenchReport base = make_report({{"k.kernels", 10.0}});
+  const BenchReport fresh = make_report({{"k.kernels", 10.0},
+                                         {"new.kernels", 5.0}});
+  EXPECT_TRUE(gate_compare(base, fresh, 0.25, 2.0).pass);
+}
+
+TEST(PerfGate, ImprovementsPass) {
+  const BenchReport base = make_report({{"k.kernels", 1000.0},
+                                        {"t.seconds", 1.0}});
+  const BenchReport fresh = make_report({{"k.kernels", 100.0},
+                                         {"t.seconds", 0.1}});
+  EXPECT_TRUE(gate_compare(base, fresh, 0.25, 2.0).pass);
+}
+
+// ---------------------------------------------------------------------------
+// trace determinism: the span *structure* of a training step is a function
+// of the config and seed, not of wall time -- two same-seed runs must
+// produce identical span counts per phase (so bench reports built from span
+// counts are reproducible inputs to the gate).
+// ---------------------------------------------------------------------------
+
+std::map<std::string, std::uint64_t> span_census(std::uint64_t seed) {
+  model::ModelConfig cfg = model::ModelConfig::fast();
+  cfg.feat_dim = 8;
+  cfg.num_radial = 5;
+  cfg.num_angular = 5;
+  cfg.num_layers = 1;
+  data::Dataset ds = data::Dataset::generate(12, 77);
+  model::CHGNet net(cfg, seed);
+  train::TrainConfig tc;
+  tc.batch_size = 4;
+  tc.epochs = 1;
+  tc.shuffle_seed = seed;
+  train::Trainer trainer(net, tc);
+  std::vector<index_t> rows(static_cast<std::size_t>(ds.size()));
+  for (index_t i = 0; i < ds.size(); ++i) {
+    rows[static_cast<std::size_t>(i)] = i;
+  }
+  trace_enable(1u << 15);
+  trainer.train_epoch(ds, rows, 0);
+  std::map<std::string, std::uint64_t> census;
+  for (const TraceEvent& e : trace_events()) ++census[e.name];
+  Trace::instance().shutdown();
+  return census;
+}
+
+TEST(PerfGate, SameSeedTrainerStepsTraceIdentically) {
+  const auto a = span_census(123);
+  const auto b = span_census(123);
+  EXPECT_EQ(a, b);
+  // Sanity: the census actually saw the trainer phases.
+  EXPECT_GT(a.at("train.step"), 0u);
+  EXPECT_EQ(a.at("train.forward"), a.at("train.backward"));
+  EXPECT_EQ(a.at("train.step"), a.at("train.data_prefetch"));
+}
+
+}  // namespace
+}  // namespace fastchg::perf

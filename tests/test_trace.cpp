@@ -1,0 +1,212 @@
+// Tests for the span tracer (perf/trace) and its exporters (perf/report):
+// nesting, enable/disable semantics, ring overflow, thread-safety under
+// parallel_for, Chrome trace_event schema, and the summary-table math.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/parallel_for.hpp"
+#include "perf/counters.hpp"
+#include "perf/report.hpp"
+#include "perf/trace.hpp"
+
+namespace fastchg::perf {
+namespace {
+
+const TraceEvent* find(const std::vector<TraceEvent>& evs, const char* name) {
+  for (const TraceEvent& e : evs) {
+    if (std::string(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+/// Every test starts and ends with the tracer fully torn down; the tracer is
+/// global state, so leaking an enabled ring into other tests would make the
+/// suite order-dependent (CI runs ctest twice to catch exactly that).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Trace::instance().shutdown(); }
+  void TearDown() override { Trace::instance().shutdown(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndInert) {
+  EXPECT_FALSE(trace_enabled());
+  {
+    TraceSpan s("never.recorded", "test");
+    trace_sim_span("also.never", "test", 0, 0.0, 1.0);
+  }
+  EXPECT_EQ(Trace::instance().total_recorded(), 0u);
+  EXPECT_EQ(Trace::instance().capacity(), 0u);  // no ring allocated
+  EXPECT_TRUE(trace_events().empty());
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledStaysInert) {
+  // A span constructed before enable() must not record at destruction --
+  // its start time was never taken.
+  trace_enable();
+  {
+    trace_disable();
+    TraceSpan s("opened.disabled", "test");
+    trace_enable();
+  }
+  EXPECT_EQ(find(trace_events(), "opened.disabled"), nullptr);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  trace_enable();
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan mid("mid", "test");
+      TraceSpan inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto evs = trace_events();
+  const TraceEvent* outer = find(evs, "outer");
+  const TraceEvent* mid = find(evs, "mid");
+  const TraceEvent* inner = find(evs, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(mid->depth, 1);
+  EXPECT_EQ(inner->depth, 2);
+  // Children start no earlier and end no later than the parent.
+  EXPECT_GE(mid->ts_us, outer->ts_us);
+  EXPECT_LE(mid->ts_us + mid->dur_us, outer->ts_us + outer->dur_us + 1e-6);
+  EXPECT_GE(inner->ts_us, mid->ts_us);
+  EXPECT_GT(outer->dur_us, 0.0);
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
+  trace_enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    trace_sim_span("tick", "test", 0, static_cast<double>(i), 0.5);
+  }
+  EXPECT_EQ(Trace::instance().total_recorded(), 20u);
+  EXPECT_EQ(Trace::instance().dropped(), 12u);
+  const auto evs = trace_events();
+  ASSERT_EQ(evs.size(), 8u);
+  // The survivors are the newest 8 (simulated starts 12..19).
+  for (const TraceEvent& e : evs) EXPECT_GE(e.ts_us, 12.0 * 1e6);
+}
+
+TEST_F(TraceTest, ClearKeepsRingButDropsEvents) {
+  trace_enable(16);
+  trace_sim_span("before", "test", 0, 0.0, 1.0);
+  trace_clear();
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(Trace::instance().capacity(), 16u);
+  trace_sim_span("after", "test", 0, 0.0, 1.0);
+  EXPECT_EQ(trace_events().size(), 1u);
+}
+
+TEST_F(TraceTest, ThreadSafeUnderParallelFor) {
+  const int saved = num_threads();
+  set_num_threads(4);
+  trace_enable(/*capacity=*/4096);
+  std::atomic<int> done{0};
+  parallel_for(0, 256, 1, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      TraceSpan s("worker.item", "test");
+      done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  set_num_threads(saved);
+  EXPECT_EQ(done.load(), 256);
+  EXPECT_EQ(Trace::instance().dropped(), 0u);
+  const auto evs = trace_events();
+  int workers = 0;
+  for (const TraceEvent& e : evs) {
+    if (std::string(e.name) == "worker.item") ++workers;
+  }
+  EXPECT_EQ(workers, 256);  // no span lost or torn under concurrency
+}
+
+TEST_F(TraceTest, SimSpansCarryDeviceLanes) {
+  trace_enable();
+  trace_sim_span("compute", "device", /*device=*/2, 1.5, 0.25);
+  const auto evs = trace_events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].clock, TraceClock::kSim);
+  EXPECT_EQ(evs[0].lane, 2);
+  EXPECT_DOUBLE_EQ(evs[0].ts_us, 1.5e6);
+  EXPECT_DOUBLE_EQ(evs[0].dur_us, 0.25e6);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonSchema) {
+  trace_enable();
+  { TraceSpan s("wall.phase", "test"); }
+  for (int d = 0; d < 4; ++d) {
+    trace_sim_span("compute", "device", d, 0.0, 1.0);
+  }
+  const std::string json = chrome_trace_json(trace_events());
+  EXPECT_TRUE(json_valid(json)) << json;
+  // Top-level object format with complete-span events.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Metadata: two process groups and a named lane per virtual device.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("device 3"), std::string::npos);
+  // Sim spans land in pid 1, wall spans in pid 0.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceRebasesWallTimestamps) {
+  trace_enable();
+  { TraceSpan s("first", "test"); }
+  const std::string json = chrome_trace_json(trace_events());
+  // Raw steady_clock timestamps are hours-to-days large; after rebasing the
+  // earliest wall span must start at ts 0.
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, SummaryMathIsExact) {
+  trace_enable();
+  trace_sim_span("phase.a", "test", 0, 0.0, 1.0);
+  trace_sim_span("phase.a", "test", 0, 1.0, 2.0);
+  trace_sim_span("phase.a", "test", 0, 3.0, 3.0);
+  trace_sim_span("phase.b", "test", 0, 6.0, 10.0);
+  const auto rows = summarize(trace_events());
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by total descending: b (10 s) before a (6 s).
+  EXPECT_EQ(rows[0].name, "phase.b");
+  EXPECT_EQ(rows[1].name, "phase.a");
+  EXPECT_EQ(rows[1].count, 3u);
+  EXPECT_NEAR(rows[1].total_s, 6.0, 1e-9);
+  EXPECT_NEAR(rows[1].mean_s, 2.0, 1e-9);
+  EXPECT_NEAR(rows[1].min_s, 1.0, 1e-9);
+  EXPECT_NEAR(rows[1].max_s, 3.0, 1e-9);
+  const std::string table = summary_table(rows);
+  EXPECT_NE(table.find("phase.a"), std::string::npos);
+  EXPECT_NE(table.find("phase.b"), std::string::npos);
+}
+
+TEST_F(TraceTest, CountersSnapshotAndReset) {
+  // The bench-rep fix: snapshot() copies, reset() clears everything a rep
+  // accumulates and rebases the peak watermark to live bytes.
+  Counters& c = counters();
+  c.reset();
+  count_kernel("test_op");
+  count_event("test_event");
+  const Counters snap = c.snapshot();
+  EXPECT_EQ(snap.kernel_launches, c.kernel_launches);
+  const std::uint64_t live = c.bytes_live;
+  c.reset();
+  EXPECT_EQ(c.kernel_launches, 0u);
+  EXPECT_EQ(c.alloc_count, 0u);
+  EXPECT_TRUE(c.events.empty());
+  EXPECT_TRUE(c.per_op.empty());
+  EXPECT_EQ(c.bytes_peak, live);  // rebased, not zeroed: live data exists
+  // The snapshot is an independent copy, untouched by the reset.
+  EXPECT_EQ(snap.events.count("test_event"), 1u);
+}
+
+}  // namespace
+}  // namespace fastchg::perf

@@ -7,6 +7,7 @@
 //   fastchgnet relax    --seed 5                            relax a structure
 //   fastchgnet charges  --seed 5                            infer charges
 //   fastchgnet serve    --requests 200 --quantize           robust inference
+//   fastchgnet trace dp --devices 4 --fault-plan slow:1@2*3#2   span tracing
 //   fastchgnet info                                         build/config info
 //
 // Every subcommand prints human-readable output; flags have sensible
@@ -27,6 +28,8 @@
 #include "parallel/data_parallel.hpp"
 #include "parallel/fault.hpp"
 #include "perf/counters.hpp"
+#include "perf/report.hpp"
+#include "perf/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/fuzz.hpp"
 #include "train/trainer.hpp"
@@ -401,6 +404,54 @@ int cmd_charges(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// `fastchgnet trace <train|dp|serve|md> [--flags]`: run the target
+/// subcommand with the span tracer on, then write a Chrome trace_event JSON
+/// (open in chrome://tracing or Perfetto) and print the per-phase summary.
+/// `--trace-out PATH` overrides the default `trace_<target>.json`; the
+/// target's own flags pass through unchanged.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: fastchgnet trace <train|dp|serve|md> [--flags]\n");
+    return 1;
+  }
+  const std::string target = argv[2];
+  auto flags = parse_flags(argc, argv, 3);
+  perf::trace_enable(static_cast<std::size_t>(
+      flag_i(flags, "trace-capacity",
+             static_cast<index_t>(perf::Trace::kDefaultCapacity))));
+  int rc;
+  if (target == "train") {
+    rc = cmd_train(flags);
+  } else if (target == "dp") {
+    rc = cmd_dp(flags);
+  } else if (target == "md") {
+    rc = cmd_md(flags);
+  } else if (target == "serve") {
+    rc = cmd_serve(flags);
+  } else {
+    std::fprintf(stderr, "trace: unknown target '%s' "
+                 "(expected train, dp, serve or md)\n", target.c_str());
+    perf::trace_disable();
+    return 1;
+  }
+
+  const std::vector<perf::TraceEvent> events = perf::trace_events();
+  std::string out = "trace_" + target + ".json";
+  if (auto it = flags.find("trace-out"); it != flags.end()) out = it->second;
+  perf::write_chrome_trace(out, events);
+  std::printf("\n%s", perf::summary_table(perf::summarize(events)).c_str());
+  std::printf("chrome trace -> %s (%zu spans", out.c_str(), events.size());
+  if (perf::Trace::instance().dropped() > 0) {
+    std::printf(", %llu dropped -- raise --trace-capacity",
+                static_cast<unsigned long long>(
+                    perf::Trace::instance().dropped()));
+  }
+  std::printf(")\n");
+  perf::trace_disable();
+  return rc;
+}
+
 int usage() {
   std::printf(
       "usage: fastchgnet <command> [--flags]\n"
@@ -414,7 +465,9 @@ int usage() {
       "  relax --seed S --steps N\n"
       "  charges --seed S              infer oxidation states from magmoms\n"
       "  serve --requests N [--quantize --strict --deadline-ms D]\n"
-      "        [--fault-plan \"fail:0@3\"]   fuzzed robust-inference demo\n");
+      "        [--fault-plan \"fail:0@3\"]   fuzzed robust-inference demo\n"
+      "  trace <train|dp|serve|md> [--trace-out PATH] [target flags]\n"
+      "        run the target with span tracing on; writes a Chrome trace\n");
   return 1;
 }
 
@@ -431,6 +484,7 @@ int run(int argc, char** argv) {
     if (cmd == "relax") return cmd_relax(flags);
     if (cmd == "charges") return cmd_charges(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "trace") return cmd_trace(argc, argv);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

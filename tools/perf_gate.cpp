@@ -1,0 +1,80 @@
+// perf_gate -- CI regression gate over bench reports (docs/observability.md).
+//
+//   perf_gate <baseline.json> <fresh.json> [--tolerance T] [--time-tolerance T]
+//
+// Compares a fresh BENCH_trace_*.json against the checked-in baseline in
+// bench/baselines/.  Every metric is lower-is-better; a fresh value above
+// baseline * (1 + tolerance) is a regression.  Metrics whose key ends in
+// ".seconds" are wall-clock and gated with the (much looser) time tolerance
+// so the gate survives CI machines of different speeds; everything else
+// (kernel counts, peak bytes, CoV) is deterministic and gated tightly.
+//
+// Exit codes: 0 pass, 1 regression (or a metric missing from the fresh
+// report), 2 malformed or missing input file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/error.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+double parse_double_flag(int argc, char** argv, const char* flag,
+                         double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::stod(argv[i + 1]);
+  }
+  return fallback;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_gate <baseline.json> <fresh.json> "
+               "[--tolerance T] [--time-tolerance T]\n"
+               "  compares bench reports (lower is better); exits 1 on "
+               "regression, 2 on bad input\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastchg;
+  if (argc < 3 || argv[1][0] == '-' || argv[2][0] == '-') return usage();
+  const double tolerance = parse_double_flag(argc, argv, "--tolerance", 0.25);
+  const double time_tolerance =
+      parse_double_flag(argc, argv, "--time-tolerance", 2.0);
+
+  perf::BenchReport baseline, fresh;
+  try {
+    baseline = perf::load_bench_report(argv[1]);
+    fresh = perf::load_bench_report(argv[2]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "perf_gate: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: %s\n", e.what());
+    return 2;
+  }
+  if (baseline.bench != fresh.bench) {
+    std::fprintf(stderr,
+                 "perf_gate: bench mismatch: baseline is '%s', fresh is "
+                 "'%s'\n", baseline.bench.c_str(), fresh.bench.c_str());
+    return 2;
+  }
+
+  const perf::GateResult g =
+      perf::gate_compare(baseline, fresh, tolerance, time_tolerance);
+  std::printf("perf_gate: bench '%s', %zu metric(s), tolerance %.0f%% "
+              "(time %.0f%%)\n", baseline.bench.c_str(), g.findings.size(),
+              100.0 * tolerance, 100.0 * time_tolerance);
+  std::printf("%s", perf::gate_table(g).c_str());
+  if (!g.pass) {
+    std::fprintf(stderr, "perf_gate: FAIL -- regression against %s\n",
+                 argv[1]);
+    return 1;
+  }
+  std::printf("perf_gate: PASS\n");
+  return 0;
+}

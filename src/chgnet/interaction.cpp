@@ -56,7 +56,14 @@ void InteractionBlock::apply(BlockState& s, const GraphTopo& topo,
               index_select0(eb, *topo.angle_e2));
   Var bond_msg = mul(w, bond_mlp_.forward(f_e));
   Var bond_agg = index_add0(topo.num_edges, *topo.angle_e1, bond_msg);
-  Var e_new = add(s.e, bond_proj_.forward(bond_agg));
+  Var bond_upd = bond_proj_.forward(bond_agg);
+  // Zero-angle structures in a mixed batch: their aggregate is exactly zero,
+  // but the projection bias is not -- mask it off so their bonds match the
+  // single-structure path (which skips this update) bit for bit.
+  if (topo.bond_update_mask.defined()) {
+    bond_upd = mul(topo.bond_update_mask, bond_upd);
+  }
+  Var e_new = add(s.e, bond_upd);
 
   Var a_new;
   if (eliminate_deps_) {

@@ -32,6 +32,12 @@ struct GraphTopo {
   const std::vector<index_t>* angle_e1 = nullptr;
   const std::vector<index_t>* angle_e2 = nullptr;
   const std::vector<index_t>* angle_center = nullptr;
+  /// [E,1] 0/1 mask, defined only when the batch mixes angle-free and
+  /// angle-carrying structures.  A structure with no angles skips the bond
+  /// update entirely when served alone (Alg. 1 line 12), so inside a fused
+  /// batch its edges must not receive the bond projection's bias either --
+  /// otherwise a structure's output would depend on its batchmates.
+  Var bond_update_mask;
 };
 
 /// Mutable per-layer feature state.

@@ -210,6 +210,29 @@ ModelOutput CHGNet::forward(const data::Batch& b, ForwardMode mode) const {
   topo.angle_e1 = &b.angle_e1;
   topo.angle_e2 = &b.angle_e2;
   topo.angle_center = &b.angle_center;
+  if (b.num_angles > 0 && b.num_structs > 1) {
+    // Mixed batch detection: structures without angles must not have their
+    // bond features touched by the (biased) bond update, or a fused serve
+    // batch would diverge from serving the same structure alone.
+    bool mixed = false;
+    for (index_t s = 0; s < b.num_structs; ++s) {
+      if (b.angle_first[s + 1] == b.angle_first[s]) {
+        mixed = true;
+        break;
+      }
+    }
+    if (mixed) {
+      Tensor mask = Tensor::empty({b.num_edges, 1});
+      for (index_t s = 0; s < b.num_structs; ++s) {
+        const float has_angles =
+            b.angle_first[s + 1] > b.angle_first[s] ? 1.0f : 0.0f;
+        for (index_t e = b.edge_first[s]; e < b.edge_first[s + 1]; ++e) {
+          mask.data()[e] = has_angles;
+        }
+      }
+      topo.bond_update_mask = constant(std::move(mask));
+    }
+  }
 
   Var magmom_features;
   {

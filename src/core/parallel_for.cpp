@@ -126,24 +126,43 @@ Pool& pool() {
   return p;
 }
 
+/// Depth of pool-scheduled chunks on this thread.  A nested parallel_for
+/// (a tensor kernel inside a micro-batch that is itself a pool chunk) must
+/// not re-enter Pool::run -- the pool's dispatch state is per-call, so a
+/// re-entrant run() from a worker would corrupt it or deadlock.  Nested
+/// calls run inline instead.
+thread_local int t_pool_depth = 0;
+
+struct PoolDepthGuard {
+  PoolDepthGuard() { ++t_pool_depth; }
+  ~PoolDepthGuard() { --t_pool_depth; }
+};
+
 }  // namespace
 
 int num_threads() { return pool().workers(); }
 
 void set_num_threads(int n) { pool().resize(n); }
 
+bool in_parallel_region() { return t_pool_depth > 0; }
+
 void parallel_for(index_t begin, index_t end, index_t grain,
                   const std::function<void(index_t, index_t)>& fn) {
   if (end <= begin) return;
   const index_t n = end - begin;
   const int workers = pool().workers();
-  if (workers == 1 || n < grain) {
+  if (t_pool_depth > 0 || workers == 1 || n < grain) {
     fn(begin, end);
     return;
   }
   // ~4 chunks per worker for dynamic balance, but never below the grain.
   index_t chunk = std::max<index_t>(grain, n / (4 * workers) + 1);
-  pool().run(begin, end, chunk, fn);
+  const std::function<void(index_t, index_t)> guarded =
+      [&fn](index_t lo, index_t hi) {
+        PoolDepthGuard depth;
+        fn(lo, hi);
+      };
+  pool().run(begin, end, chunk, guarded);
 }
 
 }  // namespace fastchg

@@ -23,7 +23,17 @@ void set_num_threads(int n);
 /// Invoke fn(begin_i, end_i) over a partition of [begin, end).  Ranges are
 /// contiguous, disjoint, and cover the interval exactly.  Runs inline when
 /// the range is shorter than `grain` or only one worker exists.
+///
+/// Nesting is safe: a parallel_for issued from inside a worker chunk (e.g. a
+/// tensor kernel launched by a serve micro-batch running on the pool) runs
+/// its whole range inline on that worker instead of re-entering the shared
+/// pool.  Outer callers therefore own the parallelism; inner kernels
+/// degrade to serial per worker, keeping results bit-identical.
 void parallel_for(index_t begin, index_t end, index_t grain,
                   const std::function<void(index_t, index_t)>& fn);
+
+/// True while the calling thread is executing inside a parallel_for chunk
+/// scheduled on the pool (nested parallel_for calls run inline then).
+bool in_parallel_region();
 
 }  // namespace fastchg

@@ -4,7 +4,8 @@
 
 namespace fastchg::data {
 
-Batch collate(const std::vector<const Sample*>& samples) {
+Batch collate(const std::vector<const Sample*>& samples,
+              bool with_labels) {
   FASTCHG_CHECK(!samples.empty(), "collate: empty batch");
   Batch b;
   b.num_structs = static_cast<index_t>(samples.size());
@@ -18,10 +19,12 @@ Batch collate(const std::vector<const Sample*>& samples) {
   b.cart = Tensor::empty({A, 3});
   b.edge_image = Tensor::empty({E, 3});
   b.image_blockdiag = Tensor::zeros({E, 3 * S});
-  b.energy_per_atom = Tensor::empty({S, 1});
-  b.forces = Tensor::empty({A, 3});
-  b.stress = Tensor::empty({S, 9});
-  b.magmom = Tensor::empty({A, 1});
+  if (with_labels) {
+    b.energy_per_atom = Tensor::empty({S, 1});
+    b.forces = Tensor::empty({A, 3});
+    b.stress = Tensor::empty({S, 9});
+    b.magmom = Tensor::empty({A, 1});
+  }
 
   b.species.reserve(static_cast<std::size_t>(A));
   b.edge_src.reserve(static_cast<std::size_t>(E));
@@ -52,20 +55,24 @@ Batch collate(const std::vector<const Sample*>& samples) {
     const std::vector<Vec3> cart = c.wrapped_cart();
     // Unlabelled crystals (e.g. MD snapshots) carry empty label vectors;
     // collate fills zeros so inference batches work too.
-    const bool has_forces = c.forces.size() == c.frac.size();
-    const bool has_magmom = c.magmom.size() == c.frac.size();
+    const bool has_forces = with_labels && c.forces.size() == c.frac.size();
+    const bool has_magmom = with_labels && c.magmom.size() == c.frac.size();
     for (index_t i = 0; i < n; ++i) {
       const auto siz = static_cast<std::size_t>(i);
       for (int d = 0; d < 3; ++d) {
         b.cart.data()[(atom_off + i) * 3 + d] =
             static_cast<float>(cart[siz][d]);
-        b.forces.data()[(atom_off + i) * 3 + d] =
-            has_forces ? static_cast<float>(c.forces[siz][d]) : 0.0f;
+        if (with_labels) {
+          b.forces.data()[(atom_off + i) * 3 + d] =
+              has_forces ? static_cast<float>(c.forces[siz][d]) : 0.0f;
+        }
       }
       b.species.push_back(c.species[siz]);
       b.atom_struct.push_back(si);
-      b.magmom.data()[atom_off + i] =
-          has_magmom ? static_cast<float>(c.magmom[siz]) : 0.0f;
+      if (with_labels) {
+        b.magmom.data()[atom_off + i] =
+            has_magmom ? static_cast<float>(c.magmom[siz]) : 0.0f;
+      }
     }
     for (index_t e = 0; e < ne; ++e) {
       const auto se = static_cast<std::size_t>(e);
@@ -85,12 +92,14 @@ Batch collate(const std::vector<const Sample*>& samples) {
           g.edge_src[static_cast<std::size_t>(g.angle_e1[a])] + atom_off);
     }
 
-    b.energy_per_atom.data()[si] =
-        static_cast<float>(c.energy / static_cast<double>(n));
-    for (int i = 0; i < 3; ++i)
-      for (int j = 0; j < 3; ++j)
-        b.stress.data()[si * 9 + i * 3 + j] =
-            static_cast<float>(c.stress[i][j]);
+    if (with_labels) {
+      b.energy_per_atom.data()[si] =
+          static_cast<float>(c.energy / static_cast<double>(n));
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+          b.stress.data()[si * 9 + i * 3 + j] =
+              static_cast<float>(c.stress[i][j]);
+    }
 
     atom_off += n;
     edge_off += ne;

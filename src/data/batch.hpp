@@ -41,7 +41,7 @@ struct Batch {
   std::vector<index_t> edge_first;    ///< [S+1]
   std::vector<index_t> angle_first;   ///< [S+1]
 
-  // Labels.
+  // Labels (undefined when collated with with_labels = false).
   Tensor energy_per_atom;             ///< [S,1], eV/atom
   Tensor forces;                      ///< [A,3], eV/A
   Tensor stress;                      ///< [S,9], eV/A^3 row-major
@@ -52,8 +52,12 @@ struct Batch {
   }
 };
 
-/// Collate samples (non-owning pointers must outlive the call).
-Batch collate(const std::vector<const Sample*>& samples);
+/// Collate samples (non-owning pointers must outlive the call).  The serving
+/// path collates with `with_labels = false`: inference batches never read
+/// the label tensors, so skipping them avoids allocating and filling
+/// A*(3+1) + S*10 floats per micro-batch (the label tensors stay undefined).
+Batch collate(const std::vector<const Sample*>& samples,
+              bool with_labels = true);
 
 /// Convenience: collate dataset rows by index.
 Batch collate_indices(const Dataset& ds, const std::vector<index_t>& idx);

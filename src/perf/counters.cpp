@@ -1,13 +1,34 @@
 #include "perf/counters.hpp"
 
+#include <mutex>
+
 namespace fastchg::perf {
+
+namespace {
+
+/// Serializes every counter mutation.  Kernel launches and tensor
+/// allocations fire from pool workers when the serve layer runs independent
+/// micro-batches concurrently; an uncontended lock costs tens of
+/// nanoseconds against ops that touch whole tensors, so this stays cheap.
+std::mutex& counters_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
 
 Counters& counters() {
   static Counters c;
   return c;
 }
 
+Counters Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  return *this;
+}
+
 void Counters::reset() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   kernel_launches = 0;
   per_op.clear();
   alloc_count = 0;
@@ -18,12 +39,14 @@ void Counters::reset() {
 void count_kernel(const char* name) { count_kernels(name, 1); }
 
 void count_kernels(const char* name, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.kernel_launches += n;
   if (c.per_op_enabled) c.per_op[name] += n;
 }
 
 void track_alloc(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.bytes_live += bytes;
   c.alloc_count += 1;
@@ -31,33 +54,44 @@ void track_alloc(std::uint64_t bytes) {
 }
 
 void track_free(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.bytes_live -= (bytes <= c.bytes_live) ? bytes : c.bytes_live;
 }
 
 void count_event(const char* name, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   counters().events[name] += n;
 }
 
 std::uint64_t event_count(const std::string& name) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   const Counters& c = counters();
   auto it = c.events.find(name);
   return it == c.events.end() ? 0 : it->second;
 }
 
-void reset_events() { counters().events.clear(); }
+void reset_events() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().events.clear();
+}
 
 void reset_kernels() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.kernel_launches = 0;
   c.per_op.clear();
 }
 
 void reset_peak() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.bytes_peak = c.bytes_live;
 }
 
-void set_per_op(bool enabled) { counters().per_op_enabled = enabled; }
+void set_per_op(bool enabled) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().per_op_enabled = enabled;
+}
 
 }  // namespace fastchg::perf

@@ -15,9 +15,12 @@
 
 namespace fastchg::perf {
 
-/// Global counters.  Not thread-safe by design: the virtual-GPU cluster runs
-/// device contexts sequentially (see src/parallel/), so a single accounting
-/// stream suffices and stays cheap.
+/// Global counters.  All mutation goes through the free functions below,
+/// which serialize on an internal mutex: the serve layer runs independent
+/// micro-batches on pool workers concurrently, so kernel launches, tensor
+/// allocations and robustness events may fire from several threads at once.
+/// Direct field reads are only safe when no parallel section is running
+/// (benches and tests read between repetitions, which is fine).
 struct Counters {
   std::uint64_t kernel_launches = 0;
   std::uint64_t bytes_live = 0;
@@ -32,7 +35,9 @@ struct Counters {
 
   /// Copy of the current accounting state.  Benches snapshot before and
   /// after a repetition to attribute counts to exactly that repetition.
-  Counters snapshot() const { return *this; }
+  /// Takes the counter mutex so a snapshot is consistent even while pool
+  /// workers are still recording.
+  Counters snapshot() const;
   /// Reset everything a bench repetition accumulates: kernel launches,
   /// per-op map, allocation count, events, and the peak watermark (rebased
   /// to the currently live bytes -- live allocations still exist).  Without

@@ -2,13 +2,24 @@
 //
 // Every request flows through the same pipeline (docs/serving.md):
 //
-//   admission -> validation -> [injected-fault retry loop] -> forward
-//            -> numeric watchdog -> (quantized -> fp32 degradation) -> reply
+//   admission -> validation -> [injected-fault retry loop] -> cache lookup
+//            -> fused micro-batch forward -> numeric watchdog / bisection
+//            -> (quantized -> fp32 degradation) -> reply
 //
-// and every exit is a typed Result: success (possibly flagged degraded), or
-// kInvalidInput / kNumericFault / kTimeout / kOverloaded / kDegraded.  No
-// request -- however malformed -- may crash the process or return a silent
-// NaN.
+// and every exit is a typed Result: success (possibly flagged degraded or
+// cached), or kInvalidInput / kNumericFault / kTimeout / kOverloaded /
+// kDegraded.  No request -- however malformed -- may crash the process or
+// return a silent NaN.
+//
+// The queued path (`submit` + `drain`) is dynamically micro-batched: each
+// tick drains up to `max_batch` admitted requests into one disjoint-union
+// data::Batch and runs a single fused forward (serve/batcher.hpp), with
+// independent micro-batches fanned out across `batch_workers` replica
+// workers and a structure-fingerprint LRU cache (serve/struct_cache.hpp)
+// short-circuiting graph construction -- and, for exact repeats, the whole
+// forward.  A numeric fault inside a fused batch is bisected so only the
+// poisoned request fails.  `predict` stays the synchronous single-request
+// path (also the reference the equivalence tests compare against).
 //
 // Transient device faults are injected through parallel::FaultInjector so
 // serving robustness is testable under the same seeded FaultPlans as the
@@ -25,6 +36,9 @@
 #include "fastchgnet/quantize.hpp"
 #include "parallel/fault.hpp"
 #include "perf/timer.hpp"
+#include "serve/batcher.hpp"
+#include "serve/prediction.hpp"
+#include "serve/struct_cache.hpp"
 #include "serve/validate.hpp"
 #include "serve/watchdog.hpp"
 
@@ -45,6 +59,14 @@ struct EngineConfig {
   std::size_t queue_capacity = 64;    ///< bounded request queue
   double default_deadline_ms = 1e12;  ///< per-request wall budget
 
+  // Dynamic micro-batching (queued path).
+  index_t max_batch = 8;   ///< structures fused per forward tick (>= 1)
+  int batch_workers = 1;   ///< max concurrently executing micro-batches
+
+  // Structure-fingerprint LRU cache (queued path; 0 disables).
+  std::size_t cache_capacity = 0;
+  bool cache_results = true;  ///< replay full replies for exact repeats
+
   // Retry policy for injected transient device faults.
   int max_retries = 3;
   double backoff_base_ms = 0.5;  ///< attempt k sleeps base * 2^k (simulated)
@@ -53,28 +75,21 @@ struct EngineConfig {
   double base_latency_ms = 0.0;
 };
 
-/// One successful reply.
-struct Prediction {
-  double energy = 0.0;             ///< total eV
-  std::vector<data::Vec3> forces;  ///< eV/A, [N]
-  data::Mat3 stress{};             ///< eV/A^3
-  std::vector<double> magmom;      ///< mu_B, [N]
-  bool degraded = false;  ///< served by the fp32 fallback, not the int8 path
-  int retries = 0;        ///< transient-fault retries spent
-  double latency_ms = 0.0;  ///< measured + simulated (backoff, stragglers)
-};
-
 /// Monotonic per-engine tallies (perf::counters mirrors the fallbacks
 /// globally; these stay attributable when several engines coexist).
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t served = 0;            ///< successful replies
   std::uint64_t degraded = 0;          ///< served via fp32 fallback
+  std::uint64_t cached = 0;            ///< replayed from the result cache
   std::uint64_t rejected_invalid = 0;  ///< kInvalidInput
   std::uint64_t numeric_faults = 0;    ///< kNumericFault replies
   std::uint64_t timeouts = 0;          ///< kTimeout replies
   std::uint64_t overloaded = 0;        ///< kOverloaded replies
   std::uint64_t retries = 0;           ///< transient-fault attempts retried
+  std::uint64_t micro_batches = 0;     ///< fused forwards dispatched
+  std::uint64_t bisections = 0;        ///< poisoned-batch splits
+  std::uint64_t isolated_faults = 0;   ///< faults isolated to one request
 };
 
 class InferenceEngine {
@@ -84,16 +99,19 @@ class InferenceEngine {
   InferenceEngine(const model::CHGNet& net, EngineConfig cfg = {});
 
   /// Validate and serve one structure synchronously.  `deadline_ms` < 0
-  /// uses the config default.
+  /// uses the config default.  Single-request reference path: no batching,
+  /// no cache.
   Result<Prediction> predict(const data::Crystal& c, double deadline_ms = -1);
 
   // -- Admission-controlled queue interface ----------------------------
   /// Enqueue a request; kOverloaded immediately when the queue is full.
   /// On success returns the request's queue ticket.
   Result<std::size_t> submit(data::Crystal c, double deadline_ms = -1);
-  /// Serve all queued requests FIFO.  A request whose deadline expired
-  /// while it sat in the queue is answered kTimeout without touching the
-  /// model (admission control sheds load instead of serving stale work).
+  /// Serve all queued requests FIFO through the micro-batched pipeline
+  /// (fused forwards of up to max_batch, replica workers, structure cache).
+  /// A request whose deadline expired while it sat in the queue is answered
+  /// kTimeout without touching the model.  With max_batch <= 1 and the
+  /// cache off this degenerates to the serial per-request pipeline.
   std::vector<Result<Prediction>> drain();
   std::size_t queue_depth() const { return queue_.size(); }
 
@@ -103,6 +121,9 @@ class InferenceEngine {
 
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return cfg_; }
+  /// Structure-fingerprint cache behind the queued path (hit/miss/eviction
+  /// tallies; capacity 0 when disabled).
+  const StructureCache& cache() const { return cache_; }
   /// Quantization report of the int8 replica (zeros when quantize = false).
   const model::QuantizationReport& quantization_report() const {
     return quant_report_;
@@ -117,6 +138,16 @@ class InferenceEngine {
                                      const data::Crystal& c) const;
   Result<Prediction> serve_one(const data::Crystal& c, double deadline_ms,
                                double queued_ms);
+  std::vector<Result<Prediction>> drain_serial();
+  std::vector<Result<Prediction>> drain_batched();
+
+  /// Admission, validation, and injected-fault handling shared by both
+  /// drain paths.  On rejection fills `*reply`; on success returns the
+  /// simulated pre-forward latency (backoff + stragglers) via `*sim_ms`
+  /// and the retry count via `*retries`.
+  bool admit(const data::Crystal& c, double deadline_ms, double waited_ms,
+             double* sim_ms, int* retries,
+             std::unique_ptr<Result<Prediction>>* reply);
 
   struct Queued {
     data::Crystal crystal;
@@ -131,6 +162,8 @@ class InferenceEngine {
   parallel::FaultInjector injector_{nullptr};
   index_t request_seq_ = 0;  ///< fault-plan "iteration" of the next request
   std::deque<Queued> queue_;
+  StructureCache cache_;
+  MicroBatcher batcher_;
   EngineStats stats_;
 };
 

@@ -1,0 +1,115 @@
+#include "serve/struct_cache.hpp"
+
+#include <cstring>
+
+#include "data/graph.hpp"
+#include "perf/counters.hpp"
+#include "perf/trace.hpp"
+
+namespace fastchg::serve {
+
+namespace {
+
+void append_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+void append_double(std::string& out, double v) {
+  // +0.0 and -0.0 collate identically (they produce identical geometry);
+  // canonicalize so the byte key agrees.
+  if (v == 0.0) v = 0.0;
+  append_bytes(out, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::string StructureCache::fingerprint(const data::Crystal& c,
+                                        const data::GraphConfig& graph) {
+  std::string key;
+  const std::size_t n = c.frac.size();
+  key.reserve(16 + 9 * sizeof(double) + n * (sizeof(index_t) + 3 * sizeof(double)));
+  const index_t natoms = c.natoms();
+  append_bytes(key, &natoms, sizeof(natoms));
+  append_double(key, graph.atom_cutoff);
+  append_double(key, graph.bond_cutoff);
+  for (const auto& row : c.lattice) {
+    for (double v : row) append_double(key, v);
+  }
+  for (index_t z : c.species) append_bytes(key, &z, sizeof(z));
+  // Wrapped fractionals: the whole geometry pipeline (neighbor lists,
+  // collation) runs on the canonical [0,1) image, so the key matches what
+  // the model actually sees.  Out-of-cell copies of a structure key
+  // identically whenever the wrap is exact in floating point; when it is
+  // not, the wrapped geometries (and thus the forwards) genuinely differ in
+  // the low bits, so keying them apart is the safe direction.
+  for (const auto& f : c.frac) {
+    const data::Vec3 w = data::wrap_frac(f);
+    for (double v : w) append_double(key, v);
+  }
+  return key;
+}
+
+std::shared_ptr<const data::Sample> build_sample(
+    const data::Crystal& c, const data::GraphConfig& graph) {
+  auto s = std::make_shared<data::Sample>();
+  s->crystal = c;
+  s->graph = data::build_graph(c, graph);
+  return s;
+}
+
+StructureCache::StructureCache(std::size_t capacity, data::GraphConfig graph,
+                               bool cache_results)
+    : capacity_(capacity), graph_(graph), cache_results_(cache_results) {}
+
+StructureCache::Lookup StructureCache::lookup(const data::Crystal& c) {
+  perf::TraceSpan span("serve.cache.lookup", "serve");
+  ++stats_.lookups;
+  Lookup out;
+  out.key = fingerprint(c, graph_);
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    perf::count_event("serve.cache.miss");
+    out.sample = build_sample(c, graph_);
+    return out;
+  }
+  auto it = entries_.find(out.key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    perf::count_event("serve.cache.hit");
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    out.sample = it->second->sample;
+    if (cache_results_ && it->second->result) {
+      ++stats_.result_hits;
+      perf::count_event("serve.cache.result_hit");
+      out.result = it->second->result;
+    }
+    return out;
+  }
+
+  ++stats_.misses;
+  perf::count_event("serve.cache.miss");
+  out.sample = build_sample(c, graph_);
+  lru_.push_front(Entry{out.key, out.sample, nullptr});
+  entries_[out.key] = lru_.begin();
+  if (entries_.size() > capacity_) {
+    ++stats_.evictions;
+    perf::count_event("serve.cache.evict");
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return out;
+}
+
+void StructureCache::store_result(const std::string& key,
+                                  const Prediction& p) {
+  if (!cache_results_ || capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // evicted between lookup and store
+  it->second->result = std::make_shared<Prediction>(p);
+}
+
+bool StructureCache::contains(const data::Crystal& c) const {
+  return entries_.count(fingerprint(c, graph_)) > 0;
+}
+
+}  // namespace fastchg::serve

@@ -1,0 +1,104 @@
+// Structure-fingerprint LRU cache for the serving layer.
+//
+// CHGNet serving traffic (MD trajectory scoring, relaxation sweeps,
+// convex-hull re-ranking) is dominated by *repeated* structures: the same
+// crystal arrives many times, or arrives again after a round trip through a
+// client.  Graph construction (neighbor list + angle enumeration) is a
+// meaningful fraction of a small-structure request, and an exact repeat
+// does not need the model at all.  The cache therefore keeps two tiers per
+// entry, keyed by a canonical byte-exact fingerprint of the structure:
+//
+//   * the built data::Sample (crystal + graph), reused by the collator so a
+//     repeated structure never rebuilds its neighbor list;
+//   * optionally the full Prediction of a previous successful forward,
+//     replayed verbatim for exact repeats (deterministic forwards make the
+//     replay bit-identical to recomputation).
+//
+// Eviction is strict LRU and therefore deterministic: equal request streams
+// produce equal hit/miss/eviction sequences.  Tallies are mirrored into
+// perf::count_event ("serve.cache.hit" / "miss" / "evict" / "result_hit")
+// for the observability stack.
+//
+// Not internally synchronized: lookups and inserts run on the engine's
+// sequential admission phase; only the fused forwards fan out to workers.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "data/dataset.hpp"
+#include "serve/prediction.hpp"
+
+namespace fastchg::serve {
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;         ///< graph reused (includes result hits)
+  std::uint64_t result_hits = 0;  ///< full Prediction replayed, no forward
+  std::uint64_t misses = 0;       ///< graph built and inserted
+  std::uint64_t evictions = 0;    ///< LRU entries displaced by capacity
+};
+
+class StructureCache {
+ public:
+  /// `capacity` = max resident structures (0 disables everything: lookups
+  /// build a fresh sample and insert nothing).  `cache_results` additionally
+  /// retains the full Prediction for exact-repeat replay.
+  StructureCache(std::size_t capacity, data::GraphConfig graph,
+                 bool cache_results = true);
+
+  /// Canonical byte-exact fingerprint: species, lattice, *wrapped*
+  /// fractional coordinates and the graph cutoffs.  Two crystals with equal
+  /// keys produce identical graphs and identical forwards.
+  static std::string fingerprint(const data::Crystal& c,
+                                 const data::GraphConfig& graph);
+
+  struct Lookup {
+    std::shared_ptr<const data::Sample> sample;  ///< always set
+    /// Full-result tier hit: a previous forward's reply for this exact
+    /// structure (nullptr when absent or result caching is off).
+    std::shared_ptr<const Prediction> result;
+    std::string key;  ///< fingerprint, for the later store_result call
+  };
+
+  /// Resolve a crystal to its built sample, reusing (and refreshing the
+  /// recency of) a cached entry when present, else building the graph and
+  /// inserting.  Counts one lookup and one hit or miss.
+  Lookup lookup(const data::Crystal& c);
+
+  /// Attach a successful reply to the entry for `key` (no-op when the entry
+  /// was evicted in the meantime or result caching is off).  Does not touch
+  /// recency: the preceding lookup already did.
+  void store_result(const std::string& key, const Prediction& p);
+
+  /// Peek without touching recency order or stats (test/diagnostic use).
+  bool contains(const data::Crystal& c) const;
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const data::GraphConfig& graph_config() const { return graph_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const data::Sample> sample;
+    std::shared_ptr<const Prediction> result;
+  };
+
+  std::size_t capacity_;
+  data::GraphConfig graph_;
+  bool cache_results_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  CacheStats stats_;
+};
+
+/// Build a Sample (wrapped crystal + graph) without any cache involvement;
+/// the shared path for cache misses and cache-disabled serving.
+std::shared_ptr<const data::Sample> build_sample(
+    const data::Crystal& c, const data::GraphConfig& graph);
+
+}  // namespace fastchg::serve

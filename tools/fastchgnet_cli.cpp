@@ -331,6 +331,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   cfg.strict = flag_b(flags, "strict");
   cfg.default_deadline_ms =
       static_cast<double>(flag_i(flags, "deadline-ms", 1000000));
+  cfg.max_batch = flag_i(flags, "max-batch", 8);
+  cfg.batch_workers = static_cast<int>(flag_i(flags, "batch-workers", 1));
+  cfg.cache_capacity =
+      static_cast<std::size_t>(flag_i(flags, "cache-capacity", 0));
   serve::InferenceEngine eng(net, cfg);
 
   parallel::FaultPlan plan;
@@ -352,13 +356,33 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   gen.min_atoms = 2;
   gen.max_atoms = 12;
   std::map<std::string, index_t> outcomes;
+  const auto record = [&](const serve::Result<serve::Prediction>& r) {
+    ++outcomes[r.ok() ? (r.value().cached     ? "served (cached)"
+                         : r.value().degraded ? "served (degraded)"
+                                              : "served")
+                      : serve::to_string(r.code())];
+  };
+  // Requests flow through the queued micro-batched pipeline: submit until a
+  // full tick is queued, then drain (fused forward of up to max-batch
+  // structures, structure cache, bisection fault isolation).
+  const bool batched = cfg.max_batch > 1 || cfg.cache_capacity > 0;
   for (index_t i = 0; i < requests; ++i) {
     data::Crystal c;
     (void)serve::fuzz_crystal(rng, c, 0.3, gen);
-    auto r = eng.predict(c);
-    ++outcomes[r.ok() ? (r.value().degraded ? "served (degraded)" : "served")
-                      : serve::to_string(r.code())];
+    if (!batched) {
+      record(eng.predict(c));
+      continue;
+    }
+    auto ticket = eng.submit(std::move(c));
+    if (!ticket.ok()) {
+      ++outcomes[serve::to_string(ticket.code())];
+      continue;
+    }
+    if (eng.queue_depth() >= static_cast<std::size_t>(cfg.max_batch)) {
+      for (const auto& r : eng.drain()) record(r);
+    }
   }
+  for (const auto& r : eng.drain()) record(r);
   std::printf("%lld fuzzed requests (30%% corrupted):\n",
               static_cast<long long>(requests));
   for (const auto& [k, n] : outcomes) {
@@ -379,6 +403,21 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                   perf::event_count("serve.retry")),
               static_cast<unsigned long long>(
                   perf::event_count("serve.fp32_fallback")));
+  std::printf("batching: micro-batches %llu  bisections %llu  isolated "
+              "faults %llu\n",
+              static_cast<unsigned long long>(st.micro_batches),
+              static_cast<unsigned long long>(st.bisections),
+              static_cast<unsigned long long>(st.isolated_faults));
+  if (cfg.cache_capacity > 0) {
+    const serve::CacheStats& cs = eng.cache().stats();
+    std::printf("cache: hits %llu (result replays %llu)  misses %llu  "
+                "evictions %llu  resident %zu/%zu\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.result_hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.evictions),
+                eng.cache().size(), eng.cache().capacity());
+  }
   return 0;
 }
 
@@ -465,6 +504,7 @@ int usage() {
       "  relax --seed S --steps N\n"
       "  charges --seed S              infer oxidation states from magmoms\n"
       "  serve --requests N [--quantize --strict --deadline-ms D]\n"
+      "        [--max-batch B --batch-workers W --cache-capacity C]\n"
       "        [--fault-plan \"fail:0@3\"]   fuzzed robust-inference demo\n"
       "  trace <train|dp|serve|md> [--trace-out PATH] [target flags]\n"
       "        run the target with span tracing on; writes a Chrome trace\n");

@@ -4,11 +4,25 @@
 #include <unordered_set>
 
 #include "autograd/ops.hpp"
+#include "core/alloc.hpp"
 
 namespace fastchg::ag {
 
 namespace {
+
 thread_local bool g_grad_enabled = true;
+
+// Graph nodes ride the same allocator as the tensors they hold: in steady
+// state a Node is a pool hit on creation and feeds the free list on graph
+// teardown, alongside its value/grad storage.  Under NoGradGuard no inputs
+// or backward closures are retained, so each op's Node + storage free as
+// soon as the next op consumes them -- inference reuses blocks eagerly
+// within the step instead of holding them to the step boundary.
+std::shared_ptr<Node> new_node() {
+  alloc::AllocatorPtr a = alloc::current_allocator();
+  return std::allocate_shared<Node>(alloc::StlAdapter<Node>(std::move(a)));
+}
+
 }  // namespace
 
 bool grad_enabled() { return g_grad_enabled; }
@@ -17,7 +31,7 @@ NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 Var::Var(Tensor value, bool requires_grad) {
-  node_ = std::make_shared<Node>();
+  node_ = new_node();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad && g_grad_enabled;
 }
@@ -74,7 +88,7 @@ Var make_op_node(const char* op, Tensor value, std::vector<Var> inputs,
   if (g_grad_enabled) {
     for (const Var& in : inputs) needs = needs || in.requires_grad();
   }
-  auto n = std::make_shared<Node>();
+  auto n = new_node();
   n->value = std::move(value);
   n->op = op;
   n->requires_grad = needs;

@@ -31,16 +31,43 @@ std::string shape_str(const Shape& shape) {
 
 bool same_shape(const Shape& a, const Shape& b) { return a == b; }
 
+// Tracked storage block.  Two backing modes:
+//  * allocator-backed: the data block comes from `alloc` (pool or system)
+//    and is returned to the same allocator on destruction -- this is how
+//    graph teardown feeds the pool's free lists;
+//  * adopted-vector: from_vector(&&) moves a std::vector in wholesale and
+//    uses its buffer directly (alloc == nullptr), skipping both the copy
+//    and the allocation.
+// Either way the perf tracker records logical tensor bytes, so
+// bytes_live/bytes_peak are identical whichever allocator (or adoption
+// path) backed the tensor.
 struct Tensor::Storage {
-  explicit Storage(index_t n)
-      : data(new float[static_cast<std::size_t>(n)]), n(n) {
+  Storage(index_t n, const alloc::AllocatorPtr& a)
+      : alloc(a),
+        ptr(static_cast<float*>(a->allocate(payload_bytes(n)))),
+        n(n) {
     perf::track_alloc(tensor_bytes(n));
   }
-  ~Storage() { perf::track_free(tensor_bytes(n)); }
+  explicit Storage(std::vector<float>&& v)
+      : adopted(std::move(v)),
+        ptr(adopted.data()),
+        n(static_cast<index_t>(adopted.size())) {
+    perf::track_alloc(tensor_bytes(n));
+  }
+  ~Storage() {
+    perf::track_free(tensor_bytes(n));
+    if (alloc) alloc->deallocate(ptr, payload_bytes(n));
+  }
   Storage(const Storage&) = delete;
   Storage& operator=(const Storage&) = delete;
 
-  std::unique_ptr<float[]> data;
+  static std::size_t payload_bytes(index_t n) {
+    return static_cast<std::size_t>(n) * sizeof(float);
+  }
+
+  alloc::AllocatorPtr alloc;   // null in adopted-vector mode
+  std::vector<float> adopted;  // owns the buffer in adopted-vector mode
+  float* ptr;
   index_t n;
 };
 
@@ -48,7 +75,12 @@ Tensor Tensor::empty(Shape shape) {
   Tensor t;
   t.numel_ = numel_of(shape);
   t.shape_ = std::move(shape);
-  t.storage_ = std::make_shared<Storage>(std::max<index_t>(t.numel_, 1));
+  // allocate_shared puts the shared_ptr control block + Storage header on
+  // the same allocator as the data, so a steady-state tensor costs zero
+  // system allocations: header and payload are both pool hits.
+  alloc::AllocatorPtr a = alloc::current_allocator();
+  t.storage_ = std::allocate_shared<Storage>(
+      alloc::StlAdapter<Storage>(a), std::max<index_t>(t.numel_, 1), a);
   return t;
 }
 
@@ -73,6 +105,22 @@ Tensor Tensor::from_vector(const std::vector<float>& v, Shape shape) {
   return t;
 }
 
+Tensor Tensor::from_vector(std::vector<float>&& v, Shape shape) {
+  const index_t n = numel_of(shape);
+  FASTCHG_CHECK(static_cast<index_t>(v.size()) == n,
+                "from_vector: " << v.size() << " values for shape "
+                                << shape_str(shape));
+  // Empty shapes keep the 1-float minimum storage empty() guarantees.
+  if (v.empty()) return empty(std::move(shape));
+  Tensor t;
+  t.numel_ = n;
+  t.shape_ = std::move(shape);
+  alloc::AllocatorPtr a = alloc::current_allocator();
+  t.storage_ = std::allocate_shared<Storage>(alloc::StlAdapter<Storage>(a),
+                                             std::move(v));
+  return t;
+}
+
 index_t Tensor::size(index_t d) const {
   FASTCHG_CHECK(d >= 0 && d < dim(),
                 "size(" << d << ") on tensor of dim " << dim());
@@ -81,12 +129,16 @@ index_t Tensor::size(index_t d) const {
 
 float* Tensor::data() {
   FASTCHG_CHECK(defined(), "data() on undefined tensor");
-  return storage_->data.get();
+  return storage_->ptr;
 }
 
 const float* Tensor::data() const {
   FASTCHG_CHECK(defined(), "data() on undefined tensor");
-  return storage_->data.get();
+  return storage_->ptr;
+}
+
+const alloc::Allocator* Tensor::source_allocator() const {
+  return storage_ ? storage_->alloc.get() : nullptr;
 }
 
 float Tensor::item() const {

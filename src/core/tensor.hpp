@@ -9,7 +9,14 @@
 //    potentials; double precision would distort the memory comparisons of
 //    Fig. 8(c).
 //  * Allocation and deallocation are reported to fastchg::perf so benches can
-//    record live/peak bytes including autograd intermediates.
+//    record live/peak bytes including autograd intermediates.  The tracker
+//    always sees *logical* tensor bytes; which physical allocator backs the
+//    storage (pooled or system, see core/alloc.hpp) never changes those
+//    numbers.
+//  * Storage is drawn from alloc::current_allocator() at creation time and
+//    returned to the same allocator on release, so a tensor allocated inside
+//    an ArenaScope recycles through that scope's pool even if it is freed
+//    later, on another thread.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/alloc.hpp"
 #include "core/error.hpp"
 
 namespace fastchg {
@@ -42,6 +50,10 @@ class Tensor {
   /// 0-d style scalar represented as shape {1}.
   static Tensor scalar(float value) { return full({1}, value); }
   static Tensor from_vector(const std::vector<float>& v, Shape shape);
+  /// Zero-copy: adopts the vector's buffer as tensor storage (no element
+  /// copy, no allocator round-trip).  The data/batch collate paths stage
+  /// rows into a std::vector and hand the buffer over wholesale.
+  static Tensor from_vector(std::vector<float>&& v, Shape shape);
 
   bool defined() const { return storage_ != nullptr; }
   const Shape& shape() const { return shape_; }
@@ -71,6 +83,12 @@ class Tensor {
   bool shares_storage(const Tensor& other) const {
     return storage_ != nullptr && storage_ == other.storage_;
   }
+
+  /// Allocator that issued this tensor's data block, or nullptr for an
+  /// undefined tensor / a buffer adopted from a std::vector.  Test hook for
+  /// pool-isolation assertions (e.g. every replica tensor in
+  /// DataParallelTrainer must come from its own device pool).
+  const alloc::Allocator* source_allocator() const;
 
  private:
   struct Storage;  // tracked allocation

@@ -1,5 +1,7 @@
 #include "data/prefetch.hpp"
 
+#include "core/alloc.hpp"
+
 namespace fastchg::data {
 
 PrefetchLoader::PrefetchLoader(const data::Dataset& ds,
@@ -20,7 +22,12 @@ PrefetchLoader::~PrefetchLoader() {
 
 void PrefetchLoader::worker() {
   for (std::size_t i = 0; i < plan_.size(); ++i) {
-    // Collate outside the lock -- this is the overlapped work.
+    // Collate outside the lock -- this is the overlapped work.  The arena
+    // pins each batch's tensors to this thread's pool: the main thread
+    // frees them mid-step and the blocks flow back here (the pool is
+    // mutex-guarded and outlives the thread via shared ownership), so the
+    // next epoch's loader re-serves them.
+    alloc::ArenaScope arena;
     data::Batch b = data::collate_indices(ds_, plan_[i]);
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return ready_.size() < depth_ || stop_; });

@@ -26,6 +26,11 @@ DataParallelTrainer::DataParallelTrainer(const model::ModelConfig& mcfg,
                     << " devices (elastic recovery keeps the per-device "
                        "batch fixed)");
   for (int d = 0; d < cfg.num_devices; ++d) {
+    // One pool per virtual device, installed while the replica and its
+    // optimizer state are built so their tensors live in the device's pool
+    // from the start (mirrors per-GPU caching-allocator instances).
+    device_pools_.push_back(std::make_shared<alloc::PoolAllocator>());
+    alloc::ArenaScope arena(device_pools_.back());
     replicas_.push_back(std::make_unique<model::CHGNet>(mcfg, model_seed));
     if (d > 0) replicas_[static_cast<std::size_t>(d)]->copy_parameters_from(*replicas_[0]);
     opts_.push_back(std::make_unique<train::Adam>(
@@ -200,6 +205,11 @@ EpochResult DataParallelTrainer::train_epoch(
     for (std::size_t d = 0; d < shards.size(); ++d) {
       perf::TraceSpan span_dev("dp.device_compute", "dp");
       perf::Timer t;
+      // Step-scoped arena on this device's own pool: batch tensors, forward
+      // activations and the backward graph recycle within the device, never
+      // crossing into a sibling replica's pool.
+      alloc::ArenaScope arena(
+          device_pools_[static_cast<std::size_t>(alive_[d])]);
       data::Batch b = data::collate_indices(ds, shards[d]);
       model::CHGNet& net = *replicas_[static_cast<std::size_t>(alive_[d])];
       net.zero_grad();

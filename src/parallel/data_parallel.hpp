@@ -130,6 +130,15 @@ class DataParallelTrainer {
   /// DDP-style gradient buckets used by the comm-cost accounting.
   int num_gradient_buckets() const { return num_buckets_; }
 
+  /// Device `d`'s memory pool.  Each virtual device owns one PoolAllocator:
+  /// its replica's parameters, per-shard activations and gradients all live
+  /// there, so replicas never contend on a shared free list or recycle each
+  /// other's blocks (isolation is asserted in tests via
+  /// Tensor::source_allocator()).
+  const alloc::AllocatorPtr& device_pool(int d) const {
+    return device_pools_[static_cast<std::size_t>(d)];
+  }
+
  private:
   void all_reduce_gradients();
   /// Copy the lead replica's parameters over every other survivor.
@@ -145,6 +154,7 @@ class DataParallelTrainer {
   double sim_trace_cursor_s_ = 0.0;
   std::vector<std::unique_ptr<model::CHGNet>> replicas_;
   std::vector<std::unique_ptr<train::Adam>> opts_;
+  std::vector<alloc::AllocatorPtr> device_pools_;  ///< one pool per device
   std::vector<int> alive_;  ///< device ids still in the ring, ascending
   float lr_;
   float backoff_scale_ = 1.0f;

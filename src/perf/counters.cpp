@@ -34,6 +34,13 @@ void Counters::reset() {
   alloc_count = 0;
   events.clear();
   bytes_peak = bytes_live;
+  pool_hits = 0;
+  pool_misses = 0;
+  system_allocs = 0;
+  // Slabs survive resets by design (they are the warm state pooling exists
+  // for); the high-water mark rebases onto them like bytes_peak does onto
+  // bytes_live.
+  pool_high_water = pool_slab_bytes;
 }
 
 void count_kernel(const char* name) { count_kernels(name, 1); }
@@ -57,6 +64,35 @@ void track_free(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lock(counters_mutex());
   Counters& c = counters();
   c.bytes_live -= (bytes <= c.bytes_live) ? bytes : c.bytes_live;
+}
+
+void track_system_alloc() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().system_allocs += 1;
+}
+
+void track_pool_hit() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().pool_hits += 1;
+}
+
+void track_pool_miss() {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().pool_misses += 1;
+}
+
+void track_pool_slab(std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  Counters& c = counters();
+  if (delta >= 0) {
+    c.pool_slab_bytes += static_cast<std::uint64_t>(delta);
+  } else {
+    const auto d = static_cast<std::uint64_t>(-delta);
+    c.pool_slab_bytes -= (d <= c.pool_slab_bytes) ? d : c.pool_slab_bytes;
+  }
+  if (c.pool_slab_bytes > c.pool_high_water) {
+    c.pool_high_water = c.pool_slab_bytes;
+  }
 }
 
 void count_event(const char* name, std::uint64_t n) {

@@ -26,6 +26,18 @@ struct Counters {
   std::uint64_t bytes_live = 0;
   std::uint64_t bytes_peak = 0;
   std::uint64_t alloc_count = 0;
+  // Allocator-layer accounting (core/alloc.hpp, docs/memory.md).  Unlike
+  // bytes_live/bytes_peak -- which track *logical* tensor bytes regardless
+  // of allocator -- these describe physical behavior: system_allocs counts
+  // real heap allocations made through the Allocator layer (the
+  // mallocs_per_step metric), pool_hits/pool_misses classify pooled
+  // requests, and pool_slab_bytes/pool_high_water aggregate slab memory
+  // held from the system across every pool in the process.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t system_allocs = 0;
+  std::uint64_t pool_slab_bytes = 0;
+  std::uint64_t pool_high_water = 0;
   // Per-op-name launch counts (for attribution tables in benches).
   std::map<std::string, std::uint64_t> per_op;
   bool per_op_enabled = false;
@@ -39,9 +51,12 @@ struct Counters {
   /// workers are still recording.
   Counters snapshot() const;
   /// Reset everything a bench repetition accumulates: kernel launches,
-  /// per-op map, allocation count, events, and the peak watermark (rebased
-  /// to the currently live bytes -- live allocations still exist).  Without
-  /// this, repetition 1 inherits repetition 0's counts.
+  /// per-op map, allocation count, events, pool hit/miss/system-alloc
+  /// counts, and the watermarks (bytes_peak rebased to the currently live
+  /// bytes, pool_high_water to the currently held slab bytes -- live
+  /// allocations and warm slabs still exist).  Without this, repetition 1
+  /// inherits repetition 0's counts.  Runs under the same mutex as every
+  /// mutation, so a reset can't tear pool statistics mid-update.
   void reset();
 };
 
@@ -55,6 +70,12 @@ void count_kernels(const char* name, std::uint64_t n);
 
 void track_alloc(std::uint64_t bytes);
 void track_free(std::uint64_t bytes);
+
+/// Allocator-layer hooks (called by core/alloc.cpp only).
+void track_system_alloc();               ///< one real heap allocation
+void track_pool_hit();                   ///< pooled request served by a free list
+void track_pool_miss();                  ///< pooled request that went upstream
+void track_pool_slab(std::int64_t delta);  ///< slab bytes acquired (+) / trimmed (-)
 
 /// Record `n` occurrences of a robustness event (e.g. "serve.fp32_fallback",
 /// "md.dt_halved").  See docs/serving.md for the event vocabulary.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/alloc.hpp"
 #include "core/parallel_for.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
@@ -132,6 +133,11 @@ std::vector<Result<Prediction>> MicroBatcher::run(
   std::vector<BatchRunStats> per_mb(num_mb);
 
   const auto serve_mb = [&](std::size_t m) {
+    // Per-worker, per-micro-batch arena: each fused forward (and any
+    // bisection retries) draws from the executing worker's thread pool, so
+    // workers recycle independently and consecutive ticks re-serve the
+    // previous tick's blocks.
+    alloc::ArenaScope arena;
     const std::size_t lo = m * max_batch;
     const std::size_t hi = std::min(n, lo + max_batch);
     ++per_mb[m].micro_batches;

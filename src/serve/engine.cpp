@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/alloc.hpp"
 #include "data/batch.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
@@ -33,6 +34,11 @@ void InferenceEngine::set_fault_plan(const parallel::FaultPlan* plan) {
 Result<Prediction> InferenceEngine::forward_checked(
     const model::CHGNet& m, const data::Crystal& c) const {
   perf::TraceSpan span_fwd("serve.forward", "serve");
+  // Request-scoped arena: graph build, collate and eval-mode forward all
+  // recycle through the serving thread's pool; a steady stream of
+  // same-shape requests stops touching the system allocator after the
+  // first one (see docs/memory.md).
+  alloc::ArenaScope arena;
   model::ModelOutput out;
   data::Batch b;
   try {

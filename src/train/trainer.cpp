@@ -70,6 +70,10 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
   index_t micro = 0;
   for (std::size_t step = 0; step < plan.size(); ++step) {
     perf::TraceSpan span_step("train.step", "train");
+    // Step-scoped arena: forward activations, graph nodes, gradients and
+    // loss temporaries all come from step_pool_ and are recycled as the
+    // graph tears down, so step N+1 re-serves step N's blocks.
+    alloc::ArenaScope arena(step_pool_);
     data::Batch b = [&] {
       perf::TraceSpan span("train.data_prefetch", "train");
       return cfg_.prefetch ? std::move(*loader->next())

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/alloc.hpp"
 #include "train/adam.hpp"
 #include "train/atom_ref.hpp"
 #include "train/loss.hpp"
@@ -116,6 +117,11 @@ class Trainer {
   float backoff_scale_ = 1.0f;
   index_t skipped_steps_ = 0;
   Rng shuffle_rng_{0};  ///< data-order stream; reseeded per epoch
+  /// Step arena: every step's graph (activations, Nodes, gradients) is
+  /// allocated here and recycled on teardown, so after the first step's
+  /// warm-up a steady-state step touches the system allocator ~zero times
+  /// (see docs/memory.md; asserted by bench_memory_arena).
+  alloc::AllocatorPtr step_pool_ = std::make_shared<alloc::PoolAllocator>();
 };
 
 /// True when every accumulated gradient of `params` is finite (params

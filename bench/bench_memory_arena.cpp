@@ -11,6 +11,9 @@
 //     deterministic);
 //   * serve.pool_{off,on}.mallocs_per_forward -- same per fused
 //     micro-batched forward on a warmed engine;
+//   * serve_int8.pool_{off,on}.mallocs_per_forward -- same through an
+//     EngineShard's own pool with the quantized replica serving (the
+//     sharded front-end's arena path);
 //   * *.malloc_ratio -- pooled / unpooled (acceptance bar: <= 0.01);
 //   * bitexact.{train,dp,serve}.max_diff -- must be exactly 0.0: the
 //     allocator changes where bytes live, never their values;
@@ -30,6 +33,7 @@
 #include "parallel/data_parallel.hpp"
 #include "perf/timer.hpp"
 #include "serve/engine.hpp"
+#include "serve/shard.hpp"
 #include "train/trainer.hpp"
 
 namespace fastchg {
@@ -120,6 +124,58 @@ PhaseCounts measure_serve(bool pooled, const BenchOptions& opt) {
   const double secs = t.seconds();
   const perf::Counters c = perf::counters().snapshot();
   const std::uint64_t forwards = engine.stats().micro_batches - mb_before;
+
+  PhaseCounts pc;
+  pc.mallocs_per_unit = static_cast<double>(c.system_allocs) /
+                        static_cast<double>(forwards > 0 ? forwards : 1);
+  pc.pool_hits = static_cast<double>(c.pool_hits);
+  pc.pool_misses = static_cast<double>(c.pool_misses);
+  pc.slab_high_water = static_cast<double>(c.pool_high_water);
+  pc.seconds = secs;
+  return pc;
+}
+
+/// Int8 audit: warmed quantized-replica forwards through an EngineShard's
+/// own pool (the sharded front-end's ArenaScope path).  The quantized
+/// replica's tensors must recycle exactly like fp32 ones -- steady state
+/// is served from the shard's free lists, ~0 system allocations.
+PhaseCounts measure_serve_int8(bool pooled, const BenchOptions& opt) {
+  alloc::set_pooling_enabled(pooled);
+  data::Dataset ds = bench::bench_dataset(16, 909, opt);
+  model::CHGNet net(bench::bench_model_config(3, opt), 7);
+  serve::ShardConfig sc;
+  sc.engine.graph = bench::bench_graph_config(opt);
+  sc.engine.max_batch = 4;
+  sc.engine.batch_workers = 1;
+  sc.engine.queue_capacity = 64;
+  sc.engine.cache_capacity = 0;  // every request runs the int8 forward
+  sc.engine.quantize = true;
+  sc.pool_trim_slack = SIZE_MAX;  // audit recycling, not the trim policy
+  serve::EngineShard shard(0, net, sc);
+
+  const auto tick = [&] {
+    for (index_t i = 0; i < ds.size(); ++i) {
+      auto r = shard.submit(ds[i].crystal);
+      FASTCHG_CHECK(r.ok(), "bench_memory_arena: int8 submit rejected");
+    }
+    for (const auto& reply : shard.drain()) {
+      FASTCHG_CHECK(reply.ok(), "bench_memory_arena: int8 reply failed");
+    }
+    FASTCHG_CHECK(shard.tick() == false,
+                  "bench_memory_arena: unexpected shard restart");
+  };
+
+  tick();  // warm-up: graphs, replica pool, quantized weights
+
+  const std::uint64_t mb_before = shard.engine().stats().micro_batches;
+  bench::reset_counters();
+  perf::Timer t;
+  constexpr int kTicks = 4;
+  for (int i = 0; i < kTicks; ++i) tick();
+  const double secs = t.seconds();
+  const perf::Counters c = perf::counters().snapshot();
+  const std::uint64_t forwards =
+      shard.engine().stats().micro_batches - mb_before;
 
   PhaseCounts pc;
   pc.mallocs_per_unit = static_cast<double>(c.system_allocs) /
@@ -258,6 +314,23 @@ int main(int argc, char** argv) {
               "misses %.0f\n",
               serve_ratio, serve_on.pool_hits, serve_on.pool_misses);
 
+  // -- int8 shard serving steady state ---------------------------------
+  const PhaseCounts i8_off = measure_serve_int8(false, opt);
+  const PhaseCounts i8_on = measure_serve_int8(true, opt);
+  const double i8_ratio = i8_off.mallocs_per_unit > 0.0
+                              ? i8_on.mallocs_per_unit / i8_off.mallocs_per_unit
+                              : 0.0;
+  bench::print_rule();
+  std::printf("int8 shard serve (per fused forward, warmed quantized "
+              "replica):\n");
+  std::printf("  pool off : %10.1f system allocs/forward (%.3fs)\n",
+              i8_off.mallocs_per_unit, i8_off.seconds);
+  std::printf("  pool on  : %10.1f system allocs/forward (%.3fs)\n",
+              i8_on.mallocs_per_unit, i8_on.seconds);
+  std::printf("  ratio    : %10.4f   (acceptance: <= 0.01)  hits %.0f  "
+              "misses %.0f\n",
+              i8_ratio, i8_on.pool_hits, i8_on.pool_misses);
+
   // -- bit-exactness ----------------------------------------------------
   const double diff_train = bitexact_train(opt);
   const double diff_dp = bitexact_dp(opt);
@@ -271,7 +344,8 @@ int main(int argc, char** argv) {
   alloc::set_pooling_enabled(prev_pooling);
 
   const bool pass = train_ratio <= 0.01 && serve_ratio <= 0.01 &&
-                    diff_train == 0.0 && diff_dp == 0.0 && diff_serve == 0.0;
+                    i8_ratio <= 0.01 && diff_train == 0.0 && diff_dp == 0.0 &&
+                    diff_serve == 0.0;
   std::printf("\nshape check: %s\n", pass ? "PASS" : "FAIL");
 
   // Gated metrics: allocation counts and bit-exactness are deterministic
@@ -285,6 +359,11 @@ int main(int argc, char** argv) {
   rec.metric("serve.pool_on.mallocs_per_forward", serve_on.mallocs_per_unit);
   rec.metric("serve.malloc_ratio", serve_ratio);
   rec.metric("serve.pool_on.misses", serve_on.pool_misses);
+  rec.metric("serve_int8.pool_off.mallocs_per_forward",
+             i8_off.mallocs_per_unit);
+  rec.metric("serve_int8.pool_on.mallocs_per_forward",
+             i8_on.mallocs_per_unit);
+  rec.metric("serve_int8.malloc_ratio", i8_ratio);
   rec.metric("bitexact.train.max_diff", diff_train);
   rec.metric("bitexact.dp.max_diff", diff_dp);
   rec.metric("bitexact.serve.max_diff", diff_serve);

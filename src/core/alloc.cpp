@@ -68,9 +68,10 @@ void* PoolAllocator::allocate(std::size_t bytes) {
     return upstream_->allocate(bytes);
   }
   const std::size_t sz = bucket_size(bytes);
+  const int bi = bucket_index(sz);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto& list = free_[bucket_index(sz)];
+    auto& list = free_[bi];
     if (!list.empty()) {
       void* p = list.back();
       list.pop_back();
@@ -79,6 +80,10 @@ void* PoolAllocator::allocate(std::size_t bytes) {
       st_.live_bytes += sz;
       --st_.free_blocks;
       st_.free_bytes -= sz;
+      bucket_live_[bi] += sz;
+      if (bucket_live_[bi] > bucket_window_[bi]) {
+        bucket_window_[bi] = bucket_live_[bi];
+      }
       perf::track_pool_hit();
       return p;
     }
@@ -93,6 +98,10 @@ void* PoolAllocator::allocate(std::size_t bytes) {
     st_.live_bytes += sz;
     st_.slab_bytes += sz;
     if (st_.slab_bytes > st_.high_water) st_.high_water = st_.slab_bytes;
+    bucket_live_[bi] += sz;
+    if (bucket_live_[bi] > bucket_window_[bi]) {
+      bucket_window_[bi] = bucket_live_[bi];
+    }
   }
   perf::track_pool_miss();
   perf::track_pool_slab(static_cast<std::int64_t>(sz));
@@ -111,12 +120,14 @@ void PoolAllocator::deallocate(void* p, std::size_t bytes) {
     return;
   }
   const std::size_t sz = bucket_size(bytes);
+  const int bi = bucket_index(sz);
   std::lock_guard<std::mutex> lock(mu_);
-  free_[bucket_index(sz)].push_back(p);
+  free_[bi].push_back(p);
   --st_.live_blocks;
   st_.live_bytes -= sz;
   ++st_.free_blocks;
   st_.free_bytes += sz;
+  bucket_live_[bi] -= sz;
 }
 
 void PoolAllocator::trim() {
@@ -136,9 +147,83 @@ void PoolAllocator::trim() {
     st_.free_blocks = 0;
     st_.free_bytes = 0;
     st_.slab_bytes -= freed;
+    st_.trimmed_bytes += freed;
   }
   for (auto& [p, sz] : blocks) upstream_->deallocate(p, sz);
-  if (freed > 0) perf::track_pool_slab(-static_cast<std::int64_t>(freed));
+  if (freed > 0) {
+    perf::track_pool_slab(-static_cast<std::int64_t>(freed));
+    perf::track_pool_trim(freed);
+  }
+}
+
+std::uint64_t PoolAllocator::trim_to(std::size_t target_bytes) {
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  std::uint64_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Largest buckets first: one released slab makes the most progress
+    // toward the target, so small warm buckets survive the trim.
+    for (std::size_t i = free_.size(); i-- > 0 && st_.slab_bytes > target_bytes;) {
+      const std::size_t sz = std::size_t{1} << i;
+      auto& list = free_[i];
+      while (!list.empty() && st_.slab_bytes > target_bytes) {
+        blocks.emplace_back(list.back(), sz);
+        list.pop_back();
+        freed += sz;
+        --st_.free_blocks;
+        st_.free_bytes -= sz;
+        st_.slab_bytes -= sz;
+      }
+    }
+    st_.trimmed_bytes += freed;
+  }
+  for (auto& [p, sz] : blocks) upstream_->deallocate(p, sz);
+  if (freed > 0) {
+    perf::track_pool_slab(-static_cast<std::int64_t>(freed));
+    perf::track_pool_trim(freed);
+  }
+  return freed;
+}
+
+std::uint64_t PoolAllocator::trim_watermark(std::size_t slack_bytes) {
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  std::uint64_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t demand = 0;
+    for (std::uint64_t w : bucket_window_) demand += w;
+    const std::uint64_t target = demand + slack_bytes;
+    // Largest buckets first, but each bucket only gives up blocks above its
+    // *own* window peak: a bucket the steady-state workload touched keeps
+    // its working set, so the next identical step re-faults nothing.
+    for (std::size_t i = free_.size();
+         i-- > 0 && st_.slab_bytes > target;) {
+      const std::size_t sz = std::size_t{1} << i;
+      auto& list = free_[i];
+      std::uint64_t held = bucket_live_[i] + sz * list.size();
+      while (!list.empty() && st_.slab_bytes > target &&
+             held > bucket_window_[i]) {
+        blocks.emplace_back(list.back(), sz);
+        list.pop_back();
+        freed += sz;
+        held -= sz;
+        --st_.free_blocks;
+        st_.free_bytes -= sz;
+        st_.slab_bytes -= sz;
+      }
+    }
+    st_.trimmed_bytes += freed;
+    // Rebase the observation window to current live demand.
+    for (std::size_t i = 0; i < bucket_window_.size(); ++i) {
+      bucket_window_[i] = bucket_live_[i];
+    }
+  }
+  for (auto& [p, sz] : blocks) upstream_->deallocate(p, sz);
+  if (freed > 0) {
+    perf::track_pool_slab(-static_cast<std::int64_t>(freed));
+    perf::track_pool_trim(freed);
+  }
+  return freed;
 }
 
 void PoolAllocator::end_epoch() {
@@ -148,7 +233,10 @@ void PoolAllocator::end_epoch() {
 
 PoolStats PoolAllocator::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return st_;
+  PoolStats st = st_;
+  st.window_high_water = 0;
+  for (std::uint64_t w : bucket_window_) st.window_high_water += w;
+  return st;
 }
 
 namespace {

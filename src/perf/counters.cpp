@@ -37,6 +37,7 @@ void Counters::reset() {
   pool_hits = 0;
   pool_misses = 0;
   system_allocs = 0;
+  pool_trimmed_bytes = 0;
   // Slabs survive resets by design (they are the warm state pooling exists
   // for); the high-water mark rebases onto them like bytes_peak does onto
   // bytes_live.
@@ -93,6 +94,11 @@ void track_pool_slab(std::int64_t delta) {
   if (c.pool_slab_bytes > c.pool_high_water) {
     c.pool_high_water = c.pool_slab_bytes;
   }
+}
+
+void track_pool_trim(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(counters_mutex());
+  counters().pool_trimmed_bytes += bytes;
 }
 
 void count_event(const char* name, std::uint64_t n) {

@@ -38,6 +38,10 @@ struct Counters {
   std::uint64_t system_allocs = 0;
   std::uint64_t pool_slab_bytes = 0;
   std::uint64_t pool_high_water = 0;
+  /// Slab bytes returned upstream by PoolAllocator::trim()/trim_watermark()
+  /// -- the long-lived-server watermark policy (docs/memory.md) aggregated
+  /// across every pool in the process.
+  std::uint64_t pool_trimmed_bytes = 0;
   // Per-op-name launch counts (for attribution tables in benches).
   std::map<std::string, std::uint64_t> per_op;
   bool per_op_enabled = false;
@@ -76,6 +80,7 @@ void track_system_alloc();               ///< one real heap allocation
 void track_pool_hit();                   ///< pooled request served by a free list
 void track_pool_miss();                  ///< pooled request that went upstream
 void track_pool_slab(std::int64_t delta);  ///< slab bytes acquired (+) / trimmed (-)
+void track_pool_trim(std::uint64_t bytes); ///< slab bytes released by a trim
 
 /// Record `n` occurrences of a robustness event (e.g. "serve.fp32_fallback",
 /// "md.dt_halved").  See docs/serving.md for the event vocabulary.

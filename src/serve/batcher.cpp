@@ -134,10 +134,14 @@ std::vector<Result<Prediction>> MicroBatcher::run(
 
   const auto serve_mb = [&](std::size_t m) {
     // Per-worker, per-micro-batch arena: each fused forward (and any
-    // bisection retries) draws from the executing worker's thread pool, so
-    // workers recycle independently and consecutive ticks re-serve the
-    // previous tick's blocks.
-    alloc::ArenaScope arena;
+    // bisection retries) draws from the configured arena (the shard pool
+    // when sharded) or the executing worker's thread pool, so workers
+    // recycle independently and consecutive ticks re-serve the previous
+    // tick's blocks.
+    alloc::ArenaScope arena(
+        cfg_.arena ? cfg_.arena
+                   : (alloc::pooling_enabled() ? alloc::thread_pool()
+                                               : alloc::AllocatorPtr{}));
     const std::size_t lo = m * max_batch;
     const std::size_t hi = std::min(n, lo + max_batch);
     ++per_mb[m].micro_batches;

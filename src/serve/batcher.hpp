@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chgnet/model.hpp"
+#include "core/alloc.hpp"
 #include "serve/error.hpp"
 #include "serve/prediction.hpp"
 
@@ -58,6 +59,10 @@ class MicroBatcher {
   struct Config {
     index_t max_batch = 8;  ///< structures fused per forward (>= 1)
     int workers = 1;        ///< max concurrently executing micro-batches
+    /// Arena the fused forwards draw from (nullptr = each worker's own
+    /// thread pool).  Sharded serving points this at the shard's pool so
+    /// every allocation of the shard's traffic recycles shard-locally.
+    alloc::AllocatorPtr arena;
     /// Fault-injection seam (tests/benches): mutate the collated batch
     /// before its forward.  Receives the request_ids of the structures in
     /// the (sub-)batch, in structure order, so a poison can follow one

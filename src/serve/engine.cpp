@@ -14,10 +14,19 @@ InferenceEngine::InferenceEngine(const model::CHGNet& net, EngineConfig cfg)
     : net_(net),
       cfg_(cfg),
       cache_(cfg.cache_capacity, cfg.graph, cfg.cache_results),
-      batcher_(MicroBatcher::Config{cfg.max_batch < 1 ? index_t{1}
-                                                      : cfg.max_batch,
-                                    cfg.batch_workers}) {
+      batcher_([&] {
+        MicroBatcher::Config bc;
+        bc.max_batch = cfg.max_batch < 1 ? index_t{1} : cfg.max_batch;
+        bc.workers = cfg.batch_workers;
+        bc.arena = cfg.arena;
+        bc.corrupt_batch = cfg.corrupt_batch;
+        return bc;
+      }()) {
   if (cfg_.quantize) {
+    // Replica parameters (clones + round-tripped tensors) draw from the
+    // engine's arena so a shard restart re-quantizes out of warm shard
+    // slabs instead of the system allocator.
+    alloc::ArenaScope arena(arena_alloc());
     replica_ = std::make_unique<model::CHGNet>(net.config(), /*seed=*/0);
     replica_->copy_parameters_from(net);
     if (net.has_atom_ref()) {
@@ -25,6 +34,12 @@ InferenceEngine::InferenceEngine(const model::CHGNet& net, EngineConfig cfg)
     }
     quant_report_ = model::quantize_for_inference(*replica_);
   }
+}
+
+alloc::AllocatorPtr InferenceEngine::arena_alloc() const {
+  if (cfg_.arena) return cfg_.arena;
+  return alloc::pooling_enabled() ? alloc::thread_pool()
+                                  : alloc::AllocatorPtr{};
 }
 
 void InferenceEngine::set_fault_plan(const parallel::FaultPlan* plan) {
@@ -35,10 +50,10 @@ Result<Prediction> InferenceEngine::forward_checked(
     const model::CHGNet& m, const data::Crystal& c) const {
   perf::TraceSpan span_fwd("serve.forward", "serve");
   // Request-scoped arena: graph build, collate and eval-mode forward all
-  // recycle through the serving thread's pool; a steady stream of
-  // same-shape requests stops touching the system allocator after the
-  // first one (see docs/memory.md).
-  alloc::ArenaScope arena;
+  // recycle through the engine's arena (the shard pool when sharded, else
+  // the serving thread's pool); a steady stream of same-shape requests
+  // stops touching the system allocator after the first one (docs/memory.md).
+  alloc::ArenaScope arena(arena_alloc());
   model::ModelOutput out;
   data::Batch b;
   try {
@@ -184,6 +199,17 @@ Result<std::size_t> InferenceEngine::submit(data::Crystal c,
       deadline_ms < 0 ? cfg_.default_deadline_ms : deadline_ms;
   queue_.push_back(Queued{std::move(c), deadline, perf::Timer()});
   return queue_.size() - 1;
+}
+
+std::vector<QueuedRequest> InferenceEngine::take_queue() {
+  std::vector<QueuedRequest> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    out.push_back(QueuedRequest{std::move(q.crystal), q.deadline_ms});
+  }
+  return out;
 }
 
 std::vector<Result<Prediction>> InferenceEngine::drain() {

@@ -33,6 +33,7 @@
 #include <memory>
 
 #include "chgnet/model.hpp"
+#include "core/alloc.hpp"
 #include "fastchgnet/quantize.hpp"
 #include "parallel/fault.hpp"
 #include "perf/timer.hpp"
@@ -73,6 +74,27 @@ struct EngineConfig {
   /// Simulated per-forward device latency the straggler factor scales; the
   /// measured wall time is added on top when checking deadlines.
   double base_latency_ms = 0.0;
+
+  /// Allocator the engine's arenas install (nullptr = the executing
+  /// thread's default pool).  A sharded deployment points every engine at
+  /// its shard's private PoolAllocator so replica construction, graph
+  /// builds, cache entries and fused forwards all recycle through shard-
+  /// local slabs (serve/shard.hpp).
+  alloc::AllocatorPtr arena;
+
+  /// Fault-injection seam forwarded to the micro-batcher (tests/benches):
+  /// mutate a collated batch before its fused forward, addressed by the
+  /// tick-local request slots.  Never set in production.
+  std::function<void(data::Batch&, const std::vector<std::size_t>&)>
+      corrupt_batch;
+};
+
+/// A request sitting in the admission queue, as surrendered by take_queue()
+/// for shard failover: the crystal plus its remaining deadline budget.  The
+/// queue-wait clock restarts on re-submission (failover re-arms the wait).
+struct QueuedRequest {
+  data::Crystal crystal;
+  double deadline_ms = 0.0;
 };
 
 /// Monotonic per-engine tallies (perf::counters mirrors the fallbacks
@@ -90,6 +112,23 @@ struct EngineStats {
   std::uint64_t micro_batches = 0;     ///< fused forwards dispatched
   std::uint64_t bisections = 0;        ///< poisoned-batch splits
   std::uint64_t isolated_faults = 0;   ///< faults isolated to one request
+
+  /// Fold another engine's tallies in (fleet-wide aggregation across shards
+  /// and retired engine incarnations after shard restarts).
+  void merge(const EngineStats& o) {
+    submitted += o.submitted;
+    served += o.served;
+    degraded += o.degraded;
+    cached += o.cached;
+    rejected_invalid += o.rejected_invalid;
+    numeric_faults += o.numeric_faults;
+    timeouts += o.timeouts;
+    overloaded += o.overloaded;
+    retries += o.retries;
+    micro_batches += o.micro_batches;
+    bisections += o.bisections;
+    isolated_faults += o.isolated_faults;
+  }
 };
 
 class InferenceEngine {
@@ -114,6 +153,10 @@ class InferenceEngine {
   /// cache off this degenerates to the serial per-request pipeline.
   std::vector<Result<Prediction>> drain();
   std::size_t queue_depth() const { return queue_.size(); }
+  /// Surrender the admission queue (FIFO order) without serving it: the
+  /// shard-failover path hands a tripped engine's backlog to its siblings.
+  /// Counts nothing -- the receiving engine accounts the re-submission.
+  std::vector<QueuedRequest> take_queue();
 
   /// Inject transient device faults from a seeded plan (nullptr = none).
   /// The plan must outlive the engine or the next set_fault_plan call.
@@ -124,6 +167,9 @@ class InferenceEngine {
   /// Structure-fingerprint cache behind the queued path (hit/miss/eviction
   /// tallies; capacity 0 when disabled).
   const StructureCache& cache() const { return cache_; }
+  /// Mutable access for the shard-restart reconciliation path
+  /// (StructureCache::snapshot_and_reset).
+  StructureCache& cache() { return cache_; }
   /// Quantization report of the int8 replica (zeros when quantize = false).
   const model::QuantizationReport& quantization_report() const {
     return quant_report_;
@@ -136,6 +182,8 @@ class InferenceEngine {
   /// One forward through `m` plus the numeric watchdog.
   Result<Prediction> forward_checked(const model::CHGNet& m,
                                      const data::Crystal& c) const;
+  /// The allocator engine arenas install: cfg_.arena, else the thread pool.
+  alloc::AllocatorPtr arena_alloc() const;
   Result<Prediction> serve_one(const data::Crystal& c, double deadline_ms,
                                double queued_ms);
   std::vector<Result<Prediction>> drain_serial();

@@ -20,6 +20,10 @@ struct Prediction {
   bool cached = false;    ///< replayed from the structure cache, no forward
   int retries = 0;        ///< transient-fault retries spent
   double latency_ms = 0.0;  ///< measured + simulated (backoff, stragglers)
+  // Filled by the sharded router (serve/router.hpp); inert for a
+  // single-engine deployment.
+  int shard = -1;          ///< engine shard that produced the reply
+  bool rerouted = false;   ///< served off its affinity shard (failover)
 };
 
 }  // namespace fastchg::serve

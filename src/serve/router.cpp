@@ -1,0 +1,422 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "perf/counters.hpp"
+#include "perf/timer.hpp"
+#include "perf/trace.hpp"
+
+namespace fastchg::serve {
+
+namespace {
+
+// 64-bit FNV-1a: stable across platforms (unlike std::hash), cheap, and
+// well-mixed enough for ring placement of byte-exact fingerprints.
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Avalanche finalizer (MurmurHash3 fmix64).  FNV-1a of *short* inputs --
+// like the 8 bytes of (shard id, vnode index) -- clusters badly in the
+// 64-bit space, which skews ring ownership to one shard; the finalizer
+// spreads vnode points uniformly so each of N shards owns ~1/N of the
+// keyspace and adding a shard remaps ~1/(N+1) of the keys.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t ShardRouter::hash_key(const std::string& key) {
+  return fnv1a(key.data(), key.size());
+}
+
+ShardRouter::ShardRouter(const model::CHGNet& net, RouterConfig cfg)
+    : net_(net), cfg_(std::move(cfg)), injector_(cfg_.fault_plan) {
+  FASTCHG_CHECK(cfg_.num_shards >= 1,
+                "ShardRouter needs at least one shard, got "
+                    << cfg_.num_shards);
+  FASTCHG_CHECK(cfg_.vnodes >= 1,
+                "ShardRouter needs at least one vnode per shard, got "
+                    << cfg_.vnodes);
+  for (int i = 0; i < cfg_.num_shards; ++i) add_shard();
+}
+
+// -- Ring maintenance ---------------------------------------------------
+
+void ShardRouter::ring_insert(int id) {
+  for (int v = 0; v < cfg_.vnodes; ++v) {
+    // Vnode point: hash of (shard id, vnode index).  Ties (astronomically
+    // unlikely) resolve to the smaller shard id for determinism.
+    std::uint64_t point = fnv1a(&id, sizeof(id));
+    point = mix64(fnv1a(&v, sizeof(v), point));
+    auto [it, inserted] = ring_.emplace(point, id);
+    if (!inserted && id < it->second) it->second = id;
+  }
+}
+
+void ShardRouter::ring_erase(int id) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<int> ShardRouter::ring_walk(const std::string& key) const {
+  std::vector<int> order;
+  order.reserve(shards_.size());
+  if (ring_.empty()) return order;
+  const std::uint64_t h = hash_key(key);
+  auto it = ring_.lower_bound(h);
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(order.begin(), order.end(), it->second) == order.end()) {
+      order.push_back(it->second);
+      if (order.size() == shards_.size()) break;
+    }
+    ++it;
+  }
+  return order;
+}
+
+// -- Shard lookup -------------------------------------------------------
+
+EngineShard* ShardRouter::find_shard(int id) {
+  for (auto& s : shards_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+const EngineShard* ShardRouter::find_shard(int id) const {
+  for (const auto& s : shards_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+const EngineShard& ShardRouter::shard(int id) const {
+  const EngineShard* s = find_shard(id);
+  FASTCHG_CHECK(s != nullptr, "unknown shard id " << id);
+  return *s;
+}
+
+std::vector<int> ShardRouter::shard_ids() const {
+  std::vector<int> ids;
+  ids.reserve(shards_.size());
+  for (const auto& s : shards_) ids.push_back(s->id());
+  return ids;
+}
+
+int ShardRouter::num_routable() const {
+  int n = 0;
+  for (const auto& s : shards_) n += s->routable() ? 1 : 0;
+  return n;
+}
+
+std::size_t ShardRouter::queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->engine().queue_depth();
+  return n;
+}
+
+int ShardRouter::affinity_shard_for_key(const std::string& key) const {
+  const auto walk = ring_walk(key);
+  return walk.empty() ? -1 : walk.front();
+}
+
+int ShardRouter::affinity_shard(const data::Crystal& c) const {
+  return affinity_shard_for_key(
+      StructureCache::fingerprint(c, cfg_.shard.engine.graph));
+}
+
+// -- Routing ------------------------------------------------------------
+
+int ShardRouter::try_route(data::Crystal&& c, double deadline_ms,
+                           std::size_t gid, const std::vector<int>& walk,
+                           int exclude, bool* rerouted) {
+  int attempts_left = cfg_.max_reroute_attempts;
+  bool off_affinity = false;
+  for (int id : walk) {
+    if (id == exclude) {
+      // The tripped/removed shard counts as a refusal: whoever takes the
+      // request instead serves it off-affinity.
+      off_affinity = true;
+      continue;
+    }
+    if (off_affinity) {
+      if (attempts_left <= 0) break;
+      --attempts_left;
+      stats_.sim_backoff_ms += cfg_.reroute_backoff_ms;
+    }
+    EngineShard* s = find_shard(id);
+    if (s != nullptr && s->routable()) {
+      // Copy, not move: a queue-full rejection must leave the crystal
+      // intact for the next candidate.
+      auto ticket = s->submit(c, deadline_ms);
+      if (ticket.ok()) {
+        pending_[id].push_back(Pending{gid, off_affinity});
+        if (rerouted != nullptr) *rerouted = off_affinity;
+        if (off_affinity) {
+          ++stats_.rerouted;
+          perf::count_event("serve.reroute");
+        }
+        return id;
+      }
+    }
+    off_affinity = true;  // the affinity shard (walk head) refused
+    if (cfg_.strict_reroute) break;
+  }
+  return -1;
+}
+
+Result<std::size_t> ShardRouter::submit(data::Crystal c, double deadline_ms) {
+  perf::TraceSpan span("serve.route", "serve");
+  ++stats_.submitted;
+
+  if (shards_.empty()) {
+    return Result<std::size_t>::failure(ErrorCode::kOverloaded,
+                                        "router has no shards");
+  }
+
+  // Global load shedding: when every routable shard's queue sits at or
+  // above the watermark there is no point queueing more work anywhere.
+  bool any_routable = false;
+  bool all_at_watermark = true;
+  for (const auto& s : shards_) {
+    if (!s->routable()) continue;
+    any_routable = true;
+    if (s->engine().queue_depth() < cfg_.shed_watermark) {
+      all_at_watermark = false;
+      break;
+    }
+  }
+  if (!any_routable) {
+    ++stats_.shed;
+    perf::count_event("serve.shed");
+    return Result<std::size_t>::failure(ErrorCode::kOverloaded,
+                                        "no routable shard (all tripped)");
+  }
+  if (all_at_watermark) {
+    perf::TraceSpan shed_span("serve.shed", "serve");
+    ++stats_.shed;
+    perf::count_event("serve.shed");
+    std::ostringstream msg;
+    msg << "global shed: every routable shard queue >= watermark "
+        << cfg_.shed_watermark;
+    return Result<std::size_t>::failure(ErrorCode::kOverloaded, msg.str());
+  }
+
+  const auto walk =
+      ring_walk(StructureCache::fingerprint(c, cfg_.shard.engine.graph));
+  const std::size_t gid = next_gid_++;
+  const int target =
+      try_route(std::move(c), deadline_ms, gid, walk, /*exclude=*/-1,
+                /*rerouted=*/nullptr);
+  if (target < 0) {
+    next_gid_ = gid;  // nothing admitted: the id is reusable
+    if (cfg_.strict_reroute) {
+      ++stats_.strict_degraded;
+      std::ostringstream msg;
+      msg << "strict affinity: shard " << (walk.empty() ? -1 : walk.front())
+          << " cannot take the request";
+      return Result<std::size_t>::failure(ErrorCode::kDegraded, msg.str());
+    }
+    ++stats_.shed;
+    perf::count_event("serve.shed");
+    return Result<std::size_t>::failure(
+        ErrorCode::kOverloaded, "no shard with queue capacity on the walk");
+  }
+  ++stats_.routed;
+  return gid;
+}
+
+// -- Failover -----------------------------------------------------------
+
+void ShardRouter::failover_backlog(EngineShard& from) {
+  perf::TraceSpan span("serve.failover", "serve");
+  std::vector<QueuedRequest> backlog = from.trip();
+  ++stats_.trips;
+
+  auto& mirror = pending_[from.id()];
+  FASTCHG_CHECK(backlog.size() == mirror.size(),
+                "shard " << from.id() << " pending mirror out of sync: "
+                         << backlog.size() << " queued vs " << mirror.size()
+                         << " pending");
+  for (std::size_t i = 0; i < backlog.size(); ++i) {
+    QueuedRequest& req = backlog[i];
+    const Pending rec = mirror[i];
+    if (cfg_.strict_reroute) {
+      ++stats_.failover_dropped;
+      ++stats_.strict_degraded;
+      std::ostringstream msg;
+      msg << "strict affinity: shard " << from.id()
+          << " tripped with the request queued";
+      done_.emplace_back(rec.gid, Result<Prediction>::failure(
+                                      ErrorCode::kDegraded, msg.str()));
+      continue;
+    }
+    const auto walk = ring_walk(StructureCache::fingerprint(
+        req.crystal, cfg_.shard.engine.graph));
+    // Walk as a fresh route but exclude the tripped shard; anything the
+    // siblings accept is by definition off-affinity while `from` is down,
+    // so try_route flags it rerouted unless `from` was not the affinity
+    // shard to begin with.
+    const int target =
+        try_route(std::move(req.crystal), req.deadline_ms, rec.gid, walk,
+                  /*exclude=*/from.id(), /*rerouted=*/nullptr);
+    if (target >= 0) {
+      ++stats_.failovers;
+      // Failover inherits the original reroute flag if it was already
+      // off-affinity before the trip.
+      if (rec.rerouted) pending_[target].back().rerouted = true;
+    } else {
+      ++stats_.failover_dropped;
+      done_.emplace_back(
+          rec.gid,
+          Result<Prediction>::failure(
+              ErrorCode::kOverloaded,
+              "failover: no sibling shard with queue capacity"));
+    }
+  }
+  mirror.clear();
+}
+
+// -- Tick ---------------------------------------------------------------
+
+std::vector<Result<Prediction>> ShardRouter::drain() {
+  perf::TraceSpan span("serve.tick", "serve");
+  const std::uint64_t tick = stats_.ticks++;
+
+  // 1. Scheduled shard faults: kDeviceFailure(device=shard index in
+  //    creation order, iteration=tick) trips the shard.  Indices address
+  //    the current creation-order roster so CLI plans like "fail:1@3"
+  //    stay meaningful after elastic resizes.
+  for (int idx : injector_.failures_at(static_cast<index_t>(tick))) {
+    if (idx < 0 || idx >= static_cast<int>(shards_.size())) continue;
+    EngineShard& victim = *shards_[static_cast<std::size_t>(idx)];
+    if (victim.health() == ShardHealth::kDraining ||
+        victim.health() == ShardHealth::kDead) {
+      continue;
+    }
+    failover_backlog(victim);
+  }
+
+  // 2. Drain every routable shard serially, measuring each shard's wall
+  //    time.  Real shards run concurrently, so the tick's simulated
+  //    latency is the max over shards (stragglers from the fault plan
+  //    inflate their shard's contribution).
+  std::vector<std::pair<std::size_t, Result<Prediction>>> replies =
+      std::move(done_);
+  done_.clear();
+  double tick_sim_ms = 0.0;
+  for (std::size_t idx = 0; idx < shards_.size(); ++idx) {
+    EngineShard& s = *shards_[idx];
+    if (!s.routable()) continue;
+    auto& mirror = pending_[s.id()];
+    if (mirror.empty()) continue;
+    perf::Timer wall;
+    std::vector<Result<Prediction>> out = s.drain();
+    double shard_ms = wall.millis();
+    shard_ms *= injector_.compute_multiplier(static_cast<int>(idx),
+                                             static_cast<index_t>(tick));
+    tick_sim_ms = std::max(tick_sim_ms, shard_ms);
+    FASTCHG_CHECK(out.size() == mirror.size(),
+                  "shard " << s.id() << " drained " << out.size()
+                           << " replies for " << mirror.size()
+                           << " pending requests");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].ok()) {
+        Prediction& p = out[i].value();
+        p.shard = s.id();
+        p.rerouted = mirror[i].rerouted;
+      }
+      replies.emplace_back(mirror[i].gid, std::move(out[i]));
+    }
+    mirror.clear();
+  }
+  stats_.last_tick_sim_ms = tick_sim_ms;
+  stats_.sim_ms_total += tick_sim_ms;
+
+  // 3. Advance every shard's health machine (restart countdowns, watchdog,
+  //    pool watermark trim).
+  for (auto& s : shards_) {
+    if (s->tick()) ++stats_.restarts;
+  }
+
+  std::sort(replies.begin(), replies.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Result<Prediction>> out;
+  out.reserve(replies.size());
+  for (auto& [gid, r] : replies) {
+    (void)gid;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// -- Elastic scaling ----------------------------------------------------
+
+int ShardRouter::add_shard() {
+  const int id = next_shard_id_++;
+  shards_.push_back(std::make_unique<EngineShard>(id, net_, cfg_.shard));
+  ring_insert(id);
+  pending_.emplace(id, std::deque<Pending>{});
+  perf::count_event("serve.shard.add");
+  return id;
+}
+
+Result<void> ShardRouter::remove_shard(int id) {
+  EngineShard* victim = find_shard(id);
+  if (victim == nullptr) {
+    std::ostringstream msg;
+    msg << "unknown shard id " << id;
+    return Result<void>::failure(ErrorCode::kInvalidInput, msg.str());
+  }
+  if (shards_.size() == 1) {
+    return Result<void>::failure(ErrorCode::kOverloaded,
+                                 "cannot remove the last shard");
+  }
+  // Leave the ring first so the failover walk cannot hand requests back.
+  ring_erase(id);
+  failover_backlog(*victim);
+  --stats_.trips;  // administrative removal, not a fault trip
+  retired_fleet_stats_.merge(victim->lifetime_stats());
+  retired_fleet_cache_.merge(victim->lifetime_cache_stats());
+  pending_.erase(id);
+  shards_.erase(std::find_if(shards_.begin(), shards_.end(),
+                             [&](const auto& s) { return s.get() == victim; }));
+  perf::count_event("serve.shard.remove");
+  return {};
+}
+
+// -- Fleet accounting ---------------------------------------------------
+
+EngineStats ShardRouter::fleet_stats() const {
+  EngineStats s = retired_fleet_stats_;
+  for (const auto& sh : shards_) s.merge(sh->lifetime_stats());
+  return s;
+}
+
+CacheStats ShardRouter::fleet_cache_stats() const {
+  CacheStats s = retired_fleet_cache_;
+  for (const auto& sh : shards_) s.merge(sh->lifetime_cache_stats());
+  return s;
+}
+
+}  // namespace fastchg::serve

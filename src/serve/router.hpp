@@ -1,0 +1,181 @@
+// Sharded serving front-end: a consistent-hash router over N EngineShards.
+//
+// This is the "millions of users" tier of the serving stack (ROADMAP): one
+// InferenceEngine saturates at one admission queue and one structure cache,
+// and -- worse -- is a single point of failure: a wedged engine takes every
+// client with it.  The router replicates the engine into shards
+// (serve/shard.hpp) and adds the three fleet-level behaviors a front-end
+// owes its callers:
+//
+//   * Fingerprint-affinity routing.  The structure-cache geometry
+//     fingerprint is hashed (FNV-1a) onto a consistent-hash ring with
+//     `vnodes` virtual nodes per shard, so a repeated structure always
+//     lands on the same shard and concentrates its cache hits there.
+//     Adding or removing a shard remaps only ~1/N of the key space; every
+//     other structure keeps its warm cache.
+//
+//   * Shard fault isolation + failover.  Shard faults are injected from the
+//     same seeded parallel::FaultPlan the distributed trainer uses (device
+//     index = shard id, iteration = router tick).  A tripped shard drains:
+//     its queued backlog fails over to sibling shards (bounded attempts
+//     with simulated backoff, replies flagged `rerouted`; with
+//     strict_reroute the reply is a typed kDegraded instead), the shard
+//     restarts with a cold cache after `restart_ticks`, and rejoins the
+//     ring where its vnodes still sit.  Forwards are deterministic, so a
+//     rerouted request's reply is bit-identical to its affinity shard's.
+//
+//   * Global load shedding.  When every routable shard's queue is at or
+//     above `shed_watermark`, submit sheds with a typed kOverloaded
+//     ("serve.shed") instead of queueing unboundedly -- per-shard admission
+//     caps bound each queue, the watermark bounds the fleet.
+//
+// Virtual-time model: shards of a real deployment drain concurrently, so a
+// router tick's simulated latency is the *maximum* of its shards' measured
+// drain times (the same convention as the virtual GPU cluster in
+// parallel/data_parallel.hpp), while wall time on this single process is
+// their sum.  Benches report saturation throughput against simulated time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallel/fault.hpp"
+#include "serve/shard.hpp"
+
+namespace fastchg::serve {
+
+struct RouterConfig {
+  ShardConfig shard;    ///< template for every shard (engine config inside)
+  int num_shards = 1;   ///< initial shard count (>= 1)
+  int vnodes = 64;      ///< virtual nodes per shard on the hash ring
+  /// Global shed watermark: submit sheds (kOverloaded) when every routable
+  /// shard's queue depth is at or above this.
+  std::size_t shed_watermark = 48;
+  /// Reroute budget: distinct sibling shards tried after the affinity shard
+  /// refuses (dead, draining, or queue-full).
+  int max_reroute_attempts = 2;
+  /// Simulated backoff charged per reroute attempt (virtual time).
+  double reroute_backoff_ms = 0.25;
+  /// Strict affinity: instead of rerouting, answer a typed kDegraded when
+  /// the affinity shard cannot take the request.
+  bool strict_reroute = false;
+  /// Seeded shard-fault schedule: kDeviceFailure(device=shard, iteration=
+  /// tick) trips the shard at that router tick; kStraggler inflates the
+  /// shard's simulated drain time.  nullptr = no faults.  The plan must
+  /// outlive the router.
+  const parallel::FaultPlan* fault_plan = nullptr;
+};
+
+struct RouterStats {
+  std::uint64_t submitted = 0;        ///< submit() calls
+  std::uint64_t routed = 0;           ///< accepted into some shard's queue
+  std::uint64_t rerouted = 0;         ///< accepted off the affinity shard
+  std::uint64_t shed = 0;             ///< global-watermark kOverloaded
+  std::uint64_t strict_degraded = 0;  ///< typed kDegraded (strict_reroute)
+  std::uint64_t failovers = 0;        ///< backlog requests re-homed by trips
+  std::uint64_t failover_dropped = 0; ///< backlog with no sibling capacity
+  std::uint64_t trips = 0;            ///< shard fault trips
+  std::uint64_t restarts = 0;         ///< shard cold-cache restarts
+  std::uint64_t ticks = 0;            ///< drain() calls
+  double sim_backoff_ms = 0.0;        ///< accumulated reroute backoff
+  double sim_ms_total = 0.0;          ///< sum of per-tick simulated times
+  double last_tick_sim_ms = 0.0;      ///< max shard drain time, last tick
+};
+
+class ShardRouter {
+ public:
+  /// `net` must outlive the router; every shard serves a replica of it.
+  ShardRouter(const model::CHGNet& net, RouterConfig cfg);
+
+  /// Route one request to its affinity shard (failing over to siblings as
+  /// configured).  Success returns a router-global request id; replies from
+  /// drain() come back ordered by it.  Failures are typed: kOverloaded
+  /// (shed / no capacity / no routable shard), kDegraded (strict_reroute),
+  /// or the shard engine's own admission rejections.
+  Result<std::size_t> submit(data::Crystal c, double deadline_ms = -1);
+
+  /// One router tick: inject scheduled shard faults, fail over tripped
+  /// shards' backlogs, drain every routable shard, advance each shard's
+  /// health machine, and return the tick's replies in submission order.
+  std::vector<Result<Prediction>> drain();
+
+  // -- Elastic scaling --------------------------------------------------
+  /// Add a shard live; only ~1/(N+1) of the key space re-homes onto it.
+  /// Returns the new shard's id.
+  int add_shard();
+  /// Remove a shard live: its backlog fails over, its counters migrate to
+  /// the fleet's retired accumulators, its vnodes leave the ring.  Fails
+  /// (kInvalidInput) for an unknown id, (kOverloaded) for the last shard.
+  Result<void> remove_shard(int id);
+
+  // -- Introspection ----------------------------------------------------
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_routable() const;
+  /// Shard by id (throws on unknown id).
+  const EngineShard& shard(int id) const;
+  /// Ids in creation order (stable across trips, changed by add/remove).
+  std::vector<int> shard_ids() const;
+  const RouterStats& stats() const { return stats_; }
+  /// Fleet-wide engine/cache tallies: every live shard plus every retired
+  /// incarnation and removed shard.  Reconciliation invariants (e.g.
+  /// cache lookups == hits + misses) hold across restarts by construction.
+  EngineStats fleet_stats() const;
+  CacheStats fleet_cache_stats() const;
+  /// Total queued requests across live shards.
+  std::size_t queue_depth() const;
+
+  /// Affinity shard for a crystal / fingerprint key: the first live shard
+  /// clockwise of the key's hash point, health ignored (health decides
+  /// *routing*, not *affinity*).  Exposed for tests and benches.
+  int affinity_shard(const data::Crystal& c) const;
+  int affinity_shard_for_key(const std::string& key) const;
+
+  /// Stable 64-bit FNV-1a over the fingerprint bytes (exposed for tests).
+  static std::uint64_t hash_key(const std::string& key);
+
+ private:
+  struct Pending {
+    std::size_t gid = 0;
+    bool rerouted = false;
+  };
+
+  EngineShard* find_shard(int id);
+  const EngineShard* find_shard(int id) const;
+  void ring_insert(int id);
+  void ring_erase(int id);
+  /// Distinct shard ids clockwise from the key's point (all live shards,
+  /// routable or not, each once, affinity first).
+  std::vector<int> ring_walk(const std::string& key) const;
+  /// Try to enqueue on the walk order: affinity first, then up to
+  /// max_reroute_attempts routable siblings.  On success appends the
+  /// Pending record and returns the accepting shard id; -1 when nobody
+  /// accepted.  `exclude` skips a shard (the one being tripped/removed).
+  int try_route(data::Crystal&& c, double deadline_ms, std::size_t gid,
+                const std::vector<int>& walk, int exclude, bool* rerouted);
+  /// Fail a tripped/removed shard's backlog over to siblings; requests
+  /// with no taker are answered kOverloaded (or kDegraded under
+  /// strict_reroute) into `done_`.
+  void failover_backlog(EngineShard& from);
+
+  const model::CHGNet& net_;
+  RouterConfig cfg_;
+  parallel::FaultInjector injector_{nullptr};
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  std::map<std::uint64_t, int> ring_;  ///< vnode point -> shard id
+  std::map<int, std::deque<Pending>> pending_;  ///< shard id -> queue mirror
+  /// Replies completed outside a shard drain (failover drops), delivered at
+  /// the next drain() in gid order.
+  std::vector<std::pair<std::size_t, Result<Prediction>>> done_;
+  std::size_t next_gid_ = 0;
+  int next_shard_id_ = 0;
+  RouterStats stats_;
+  // Counters of removed shards (fleet reconciliation).
+  EngineStats retired_fleet_stats_;
+  CacheStats retired_fleet_cache_;
+};
+
+}  // namespace fastchg::serve

@@ -1,0 +1,107 @@
+#include "serve/shard.hpp"
+
+#include "perf/counters.hpp"
+#include "perf/trace.hpp"
+
+namespace fastchg::serve {
+
+EngineShard::EngineShard(int id, const model::CHGNet& net, ShardConfig cfg)
+    : id_(id),
+      net_(net),
+      cfg_(cfg),
+      pool_(std::make_shared<alloc::PoolAllocator>()) {
+  cfg_.engine.arena = pool_;
+  engine_ = std::make_unique<InferenceEngine>(net_, cfg_.engine);
+}
+
+Result<std::size_t> EngineShard::submit(data::Crystal c, double deadline_ms) {
+  alloc::ArenaScope arena(pool_);
+  return engine_->submit(std::move(c), deadline_ms);
+}
+
+std::vector<Result<Prediction>> EngineShard::drain() {
+  perf::TraceSpan span("serve.shard.drain", "serve");
+  alloc::ArenaScope arena(pool_);
+  return engine_->drain();
+}
+
+std::vector<QueuedRequest> EngineShard::trip() {
+  if (health_ == ShardHealth::kDraining || health_ == ShardHealth::kDead) {
+    return {};
+  }
+  ++trips_;
+  perf::count_event("serve.shard.trip");
+  health_ = ShardHealth::kDraining;
+  return engine_->take_queue();
+}
+
+void EngineShard::restart_engine() {
+  // Reconciliation before the incarnation dies: counters migrate to the
+  // retired accumulators, so lifetime_stats()/lifetime_cache_stats() never
+  // lose (or double-count) a request across the restart.
+  retired_stats_.merge(engine_->stats());
+  retired_cache_.merge(engine_->cache().snapshot_and_reset());
+  engine_.reset();  // frees the old cache/replica back into the shard pool
+  engine_ = std::make_unique<InferenceEngine>(net_, cfg_.engine);
+  ++restarts_;
+  perf::count_event("serve.shard.restart");
+}
+
+bool EngineShard::tick() {
+  bool restarted = false;
+  switch (health_) {
+    case ShardHealth::kDraining:
+      health_ = ShardHealth::kDead;
+      dead_ticks_left_ = cfg_.restart_ticks;
+      break;
+    case ShardHealth::kDead:
+      if (--dead_ticks_left_ <= 0) {
+        restart_engine();
+        restarted = true;
+        health_ = ShardHealth::kDegraded;  // cold-cache rejoin
+        degraded_ticks_left_ = cfg_.rejoin_ticks;
+        last_numeric_faults_ = 0;
+      }
+      break;
+    case ShardHealth::kDegraded:
+      if (--degraded_ticks_left_ <= 0) health_ = ShardHealth::kHealthy;
+      break;
+    case ShardHealth::kHealthy:
+      break;
+  }
+
+  // Watchdog over the live engine's own counters: a burst of numeric
+  // faults within one tick flags the shard degraded (it keeps serving --
+  // degraded is routable -- but operators and the router stats see it).
+  if (cfg_.degrade_fault_threshold > 0 &&
+      health_ == ShardHealth::kHealthy) {
+    const std::uint64_t now = engine_->stats().numeric_faults;
+    if (now - last_numeric_faults_ >= cfg_.degrade_fault_threshold) {
+      health_ = ShardHealth::kDegraded;
+      degraded_ticks_left_ = cfg_.rejoin_ticks;
+      perf::count_event("serve.shard.degraded");
+    }
+    last_numeric_faults_ = now;
+  }
+
+  // Watermark trim: long-lived shards return slabs beyond the tick's live
+  // high water + slack, so a traffic burst doesn't pin memory forever.
+  if (cfg_.pool_trim_slack != static_cast<std::size_t>(-1)) {
+    pool_->trim_watermark(cfg_.pool_trim_slack);
+  }
+  return restarted;
+}
+
+EngineStats EngineShard::lifetime_stats() const {
+  EngineStats s = retired_stats_;
+  s.merge(engine_->stats());
+  return s;
+}
+
+CacheStats EngineShard::lifetime_cache_stats() const {
+  CacheStats s = retired_cache_;
+  s.merge(engine_->cache().stats());
+  return s;
+}
+
+}  // namespace fastchg::serve

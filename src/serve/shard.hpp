@@ -1,0 +1,131 @@
+// One engine shard of the sharded serving front-end (serve/router.hpp).
+//
+// A shard is a replication unit: its own InferenceEngine (admission queue,
+// micro-batcher, structure cache, optional int8 replica), its own
+// PoolAllocator -- every tensor allocation of the shard's traffic recycles
+// through shard-local slabs (PR 5's arenas make this cheap) -- and a health
+// state driven by a watchdog over the engine's own counters:
+//
+//            watchdog: numeric-fault burst            fault plan / trip()
+//   +----------+  ------------------------>  . . . . . . . . . . .
+//   | kHealthy | <------------------------   any live state can trip
+//   +----------+   clean ticks elapse
+//        ^  \
+//        |   `--[trip]--> +-----------+        +-------+        +-----------+
+//        |                | kDraining | -----> | kDead | -----> | kDegraded |
+//        |                +-----------+ tick   +-------+ after  +-----------+
+//        |             (queue failed over      restart_ticks     (cold-cache
+//        |              to sibling shards)                        rejoin)
+//        +-------------------------------------------------------------+
+//                              rejoin ticks elapse
+//
+// kHealthy and kDegraded are routable; kDraining and kDead are not.  A trip
+// surrenders the engine's queued backlog (InferenceEngine::take_queue) so
+// the router can fail it over, then the shard sits dead for `restart_ticks`
+// router ticks and restarts: a *new* engine with a cold cache, while the
+// shard's pool and its lifetime statistics survive.  Counter reconciliation
+// across restarts is exact -- the retiring engine's EngineStats/CacheStats
+// are folded into retired accumulators before destruction, so fleet-wide
+// `lookups == hits + misses` holds through any number of failovers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/alloc.hpp"
+#include "serve/engine.hpp"
+
+namespace fastchg::serve {
+
+/// Health states (docs/serving.md).  Routable: kHealthy, kDegraded.
+enum class ShardHealth { kHealthy, kDegraded, kDraining, kDead };
+
+inline const char* to_string(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kHealthy:  return "healthy";
+    case ShardHealth::kDegraded: return "degraded";
+    case ShardHealth::kDraining: return "draining";
+    case ShardHealth::kDead:     return "dead";
+  }
+  return "unknown";
+}
+
+struct ShardConfig {
+  EngineConfig engine;
+  /// Router ticks a tripped shard stays dead before restarting.
+  int restart_ticks = 2;
+  /// Ticks a restarted shard reports kDegraded (cold-cache rejoin) before
+  /// returning to kHealthy.  It is routable throughout.
+  int rejoin_ticks = 1;
+  /// Watchdog: numeric faults observed in one tick at or above this mark
+  /// the shard kDegraded for `rejoin_ticks` (0 disables the watchdog).
+  std::uint64_t degrade_fault_threshold = 0;
+  /// Watermark pool trim between ticks: keep slabs within the tick's live
+  /// high water plus this slack (docs/memory.md).  SIZE_MAX disables.
+  std::size_t pool_trim_slack = std::size_t{1} << 20;
+};
+
+class EngineShard {
+ public:
+  /// `net` must outlive the shard (all shards serve replicas of one model).
+  EngineShard(int id, const model::CHGNet& net, ShardConfig cfg);
+
+  int id() const { return id_; }
+  ShardHealth health() const { return health_; }
+  bool routable() const {
+    return health_ == ShardHealth::kHealthy ||
+           health_ == ShardHealth::kDegraded;
+  }
+
+  /// The live engine.  Valid in every health state (a dead shard's engine
+  /// still answers stats queries; the router stops routing to it).
+  InferenceEngine& engine() { return *engine_; }
+  const InferenceEngine& engine() const { return *engine_; }
+
+  /// Enqueue on this shard's engine under its arena.
+  Result<std::size_t> submit(data::Crystal c, double deadline_ms = -1);
+  /// Serve the shard's queue under its arena (one shard tick of work).
+  std::vector<Result<Prediction>> drain();
+
+  /// Fault trip: transition to kDraining and surrender the queued backlog
+  /// for failover.  No-op (empty result) when already draining or dead.
+  std::vector<QueuedRequest> trip();
+
+  /// Advance the health state machine by one router tick: kDraining ->
+  /// kDead, dead countdown -> restart (cold cache) -> kDegraded rejoin ->
+  /// kHealthy; run the fault watchdog over the tick's counter deltas; trim
+  /// the pool to the watermark.  Returns true when this tick restarted the
+  /// engine.
+  bool tick();
+
+  /// Lifetime tallies: the live engine's counters plus every retired
+  /// incarnation's.  Reconciliation invariants hold fleet-wide.
+  EngineStats lifetime_stats() const;
+  CacheStats lifetime_cache_stats() const;
+
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t trips() const { return trips_; }
+  const alloc::PoolAllocator& pool() const { return *pool_; }
+
+ private:
+  void restart_engine();
+
+  int id_;
+  const model::CHGNet& net_;
+  ShardConfig cfg_;
+  std::shared_ptr<alloc::PoolAllocator> pool_;
+  std::unique_ptr<InferenceEngine> engine_;
+  ShardHealth health_ = ShardHealth::kHealthy;
+  int dead_ticks_left_ = 0;
+  int degraded_ticks_left_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t trips_ = 0;
+  // Accumulated counters of retired engine incarnations (restart
+  // reconciliation), and the watchdog's delta base over the live engine.
+  EngineStats retired_stats_;
+  CacheStats retired_cache_;
+  std::uint64_t last_numeric_faults_ = 0;
+};
+
+}  // namespace fastchg::serve

@@ -39,6 +39,17 @@ struct CacheStats {
   std::uint64_t result_hits = 0;  ///< full Prediction replayed, no forward
   std::uint64_t misses = 0;       ///< graph built and inserted
   std::uint64_t evictions = 0;    ///< LRU entries displaced by capacity
+
+  /// Fold another tally in (fleet-wide aggregation across shards and their
+  /// retired engine incarnations; reconciliation lookups == hits + misses
+  /// is preserved term by term).
+  void merge(const CacheStats& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    result_hits += o.result_hits;
+    misses += o.misses;
+    evictions += o.evictions;
+  }
 };
 
 class StructureCache {
@@ -77,6 +88,15 @@ class StructureCache {
   bool contains(const data::Crystal& c) const;
 
   const CacheStats& stats() const { return stats_; }
+  /// Hand back the tallies and zero them in one step.  A restarting shard
+  /// calls this on the retiring engine's cache so its counts migrate into
+  /// the shard's retired accumulator -- never double-counted by a later
+  /// read, never lost with the incarnation.
+  CacheStats snapshot_and_reset() {
+    CacheStats s = stats_;
+    stats_ = CacheStats{};
+    return s;
+  }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   const data::GraphConfig& graph_config() const { return graph_; }

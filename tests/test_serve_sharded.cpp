@@ -1,0 +1,684 @@
+// Battery for the sharded serving front-end (serve/router.hpp,
+// serve/shard.hpp):
+//
+//   * fingerprint-affinity routing: sticky, deterministic, and spread
+//     across shards; consistent-hash remap moves ~1/N of the key space on
+//     elastic resizes and is exactly undone by the inverse resize;
+//   * shard fault isolation: a tripped shard's backlog fails over to
+//     siblings with bit-identical replies (flagged rerouted), the shard
+//     restarts with a cold cache and rejoins through the documented health
+//     state machine;
+//   * determinism: identical seeds + fault plans reproduce identical shard
+//     assignments, reroute counts and bit-identical predictions across
+//     runs, and predictions agree bit-for-bit across shard counts;
+//   * global load shedding and the all-shards-down path stay typed
+//     (kOverloaded / kDegraded under strict routing), never crash;
+//   * fleet counter reconciliation: cache lookups == hits + misses across
+//     any number of shard restarts and elastic resizes;
+//   * per-shard arenas: sharded serving recycles through shard-local pools
+//     (steady state stops missing to the upstream allocator) and the
+//     watermark trim returns burst slabs between ticks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "parallel/fault.hpp"
+#include "serve/engine.hpp"
+#include "serve/router.hpp"
+#include "serve/struct_cache.hpp"
+
+namespace fastchg::serve {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.feat_dim = 12;
+  cfg.num_radial = 7;
+  cfg.num_angular = 7;
+  cfg.num_layers = 2;
+  cfg.batched_basis = true;
+  cfg.fused_kernels = true;
+  cfg.factored_envelope = true;
+  cfg.decoupled_heads = true;
+  return cfg;
+}
+
+data::Crystal seeded_crystal(std::uint64_t seed, index_t min_atoms = 2,
+                             index_t max_atoms = 8) {
+  Rng rng(seed);
+  data::GeneratorConfig g;
+  g.min_atoms = min_atoms;
+  g.max_atoms = max_atoms;
+  return data::random_crystal(rng, g);
+}
+
+RouterConfig base_config(int shards) {
+  RouterConfig rc;
+  rc.num_shards = shards;
+  rc.shard.engine.max_batch = 4;
+  rc.shard.engine.queue_capacity = 64;
+  rc.shard.engine.cache_capacity = 32;
+  rc.shed_watermark = 1u << 20;  // effectively off unless a test lowers it
+  return rc;
+}
+
+/// Bit-identical reply check: deterministic forwards make a fused /
+/// rerouted / cache-replayed reply byte-equal to the single-engine answer,
+/// so exact double equality is the contract, not a tolerance.
+void expect_bitwise(const Prediction& got, const Prediction& want,
+                    const std::string& what) {
+  EXPECT_EQ(got.energy, want.energy) << what;
+  ASSERT_EQ(got.forces.size(), want.forces.size()) << what;
+  for (std::size_t i = 0; i < want.forces.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(got.forces[i][d], want.forces[i][d])
+          << what << " force[" << i << "][" << d << "]";
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(got.stress[i][j], want.stress[i][j])
+          << what << " stress[" << i << "][" << j << "]";
+    }
+  }
+  ASSERT_EQ(got.magmom.size(), want.magmom.size()) << what;
+  for (std::size_t i = 0; i < want.magmom.size(); ++i) {
+    EXPECT_EQ(got.magmom[i], want.magmom[i]) << what << " magmom[" << i << "]";
+  }
+}
+
+/// First seed >= `from` whose crystal's affinity shard is `target`.
+std::uint64_t seed_with_affinity(const ShardRouter& router, int target,
+                                 std::uint64_t from) {
+  for (std::uint64_t seed = from; seed < from + 4096; ++seed) {
+    if (router.affinity_shard(seeded_crystal(seed)) == target) return seed;
+  }
+  ADD_FAILURE() << "no seed in [" << from << ", " << from + 4096
+                << ") maps to shard " << target;
+  return from;
+}
+
+// ------------------------------------------------------- affinity routing --
+
+TEST(ShardRouting, AffinityIsDeterministicStickyAndSpread) {
+  model::CHGNet net(tiny_config(), 7);
+  ShardRouter a(net, base_config(4));
+  ShardRouter b(net, base_config(4));
+
+  std::set<int> used;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    data::Crystal c = seeded_crystal(seed);
+    const int aff = a.affinity_shard(c);
+    ASSERT_GE(aff, 0);
+    ASSERT_LT(aff, 4);
+    // Affinity is a pure function of the fingerprint and the ring: a second
+    // router with the same config agrees, and repeats agree with themselves.
+    EXPECT_EQ(b.affinity_shard(c), aff);
+    EXPECT_EQ(a.affinity_shard(c), aff);
+    used.insert(aff);
+    ASSERT_TRUE(a.submit(c).ok());
+  }
+  // 40 random structures over 4 shards with 64 vnodes each must not
+  // collapse onto one shard.
+  EXPECT_GE(used.size(), 3u);
+
+  auto replies = a.drain();
+  ASSERT_EQ(replies.size(), 40u);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    ASSERT_TRUE(replies[i].ok()) << replies[i].error().message;
+    const Prediction& p = replies[i].value();
+    EXPECT_EQ(p.shard, a.affinity_shard(seeded_crystal(100 + i)));
+    EXPECT_FALSE(p.rerouted);
+  }
+  EXPECT_EQ(a.stats().routed, 40u);
+  EXPECT_EQ(a.stats().rerouted, 0u);
+}
+
+TEST(ShardRouting, ConsistentHashRemapIsBoundedAndReversible) {
+  model::CHGNet net(tiny_config(), 7);
+  ShardRouter router(net, base_config(4));
+
+  const int keys = 200;
+  std::vector<int> before;
+  for (int k = 0; k < keys; ++k) {
+    before.push_back(router.affinity_shard(seeded_crystal(1000 + k)));
+  }
+
+  const int added = router.add_shard();
+  int moved = 0;
+  for (int k = 0; k < keys; ++k) {
+    const int now = router.affinity_shard(seeded_crystal(1000 + k));
+    if (now != before[k]) {
+      ++moved;
+      // Consistent hashing: a key only moves *onto* the new shard.
+      EXPECT_EQ(now, added);
+    }
+  }
+  // Expected move fraction is 1/5; allow generous slack but require that
+  // the resize is nothing like a full rehash (~4/5 would move).
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, keys * 45 / 100);
+
+  // Removing the same shard restores the original assignment exactly: the
+  // surviving vnodes never moved.
+  ASSERT_TRUE(router.remove_shard(added).ok());
+  for (int k = 0; k < keys; ++k) {
+    EXPECT_EQ(router.affinity_shard(seeded_crystal(1000 + k)), before[k]);
+  }
+}
+
+// ------------------------------------------------------- failover routing --
+
+TEST(ShardFailover, TrippedBacklogServedBitIdenticalBySiblings) {
+  model::CHGNet net(tiny_config(), 11);
+  RouterConfig rc = base_config(4);
+  parallel::FaultPlan plan = parallel::parse_fault_plan("fail:2@0");
+  rc.fault_plan = &plan;
+  ShardRouter router(net, rc);
+
+  InferenceEngine reference(net, EngineConfig{});
+
+  std::vector<data::Crystal> crystals;
+  int on_victim = 0;
+  for (std::uint64_t seed = 2000; seed < 2032; ++seed) {
+    crystals.push_back(seeded_crystal(seed));
+    if (router.affinity_shard(crystals.back()) == 2) ++on_victim;
+    ASSERT_TRUE(router.submit(crystals.back()).ok());
+  }
+  ASSERT_GT(on_victim, 0) << "battery never exercises the tripped shard";
+
+  // Tick 0 trips shard 2 with its queue loaded: the backlog must fail over
+  // and still answer, bit-identical, flagged rerouted.
+  auto replies = router.drain();
+  ASSERT_EQ(replies.size(), crystals.size());
+  int rerouted = 0;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    ASSERT_TRUE(replies[i].ok()) << replies[i].error().message;
+    const Prediction& p = replies[i].value();
+    EXPECT_NE(p.shard, 2) << "tripped shard served a request";
+    if (p.rerouted) ++rerouted;
+    auto want = reference.predict(crystals[i]);
+    ASSERT_TRUE(want.ok());
+    expect_bitwise(p, want.value(), "reply " + std::to_string(i));
+  }
+  EXPECT_EQ(rerouted, on_victim);
+  EXPECT_EQ(router.stats().trips, 1u);
+  EXPECT_EQ(router.stats().failovers, static_cast<std::uint64_t>(on_victim));
+  EXPECT_EQ(router.stats().failover_dropped, 0u);
+  EXPECT_EQ(router.shard(2).health(), ShardHealth::kDead);
+}
+
+TEST(ShardFailover, HealthStateMachineAndColdCacheRestart) {
+  model::CHGNet net(tiny_config(), 13);
+  RouterConfig rc = base_config(2);
+  rc.shard.restart_ticks = 2;
+  rc.shard.rejoin_ticks = 1;
+  parallel::FaultPlan plan;  // filled once the victim shard is known
+  rc.fault_plan = &plan;
+  ShardRouter router(net, rc);
+
+  const data::Crystal warm = seeded_crystal(seed_with_affinity(
+      router, /*target=*/0, /*from=*/3000));
+  plan.events.push_back(parallel::FaultEvent{
+      parallel::FaultKind::kDeviceFailure, /*iteration=*/2, /*device=*/0,
+      /*factor=*/1.0, /*duration=*/1});
+
+  // Ticks 0 and 1: warm shard 0's result cache with the same structure.
+  for (int tick = 0; tick < 2; ++tick) {
+    ASSERT_TRUE(router.submit(warm).ok());
+    auto replies = router.drain();
+    ASSERT_EQ(replies.size(), 1u);
+    ASSERT_TRUE(replies[0].ok());
+    EXPECT_EQ(replies[0].value().shard, 0);
+    EXPECT_EQ(replies[0].value().cached, tick > 0);
+  }
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kHealthy);
+
+  // Tick 2 trips shard 0: kDraining happens inside the tick, so the
+  // post-drain observation is already kDead with restart_ticks to go.
+  ASSERT_TRUE(router.submit(warm).ok());
+  auto replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok()) << replies[0].error().message;
+  EXPECT_EQ(replies[0].value().shard, 1);
+  EXPECT_TRUE(replies[0].value().rerouted);
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDead);
+  EXPECT_EQ(router.num_routable(), 1);
+
+  // Tick 3: still dead (restart_ticks = 2).  Tick 4: cold-cache restart
+  // into the degraded rejoin window.  Tick 5: healthy again.
+  (void)router.drain();
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDead);
+  (void)router.drain();
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDegraded);
+  EXPECT_EQ(router.shard(0).restarts(), 1u);
+  EXPECT_EQ(router.shard(0).engine().cache().size(), 0u) << "cache not cold";
+  EXPECT_EQ(router.stats().restarts, 1u);
+  (void)router.drain();
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kHealthy);
+
+  // Affinity is restored (the vnodes never left the ring) but the first
+  // post-restart request recomputes: the replay tier is gone.
+  ASSERT_TRUE(router.submit(warm).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok());
+  EXPECT_EQ(replies[0].value().shard, 0);
+  EXPECT_FALSE(replies[0].value().rerouted);
+  EXPECT_FALSE(replies[0].value().cached);
+}
+
+// The watchdog over the engine's own counters: a numeric-fault burst marks
+// the shard degraded (still routable) for rejoin_ticks.
+TEST(ShardFailover, WatchdogDegradesOnNumericFaultBurst) {
+  model::CHGNet net(tiny_config(), 17);
+  RouterConfig rc = base_config(1);
+  rc.shard.degrade_fault_threshold = 1;
+  rc.shard.rejoin_ticks = 1;
+  auto poison = std::make_shared<bool>(false);
+  rc.shard.engine.corrupt_batch =
+      [poison](data::Batch& b, const std::vector<std::size_t>&) {
+        if (!*poison) return;
+        float* cart = b.cart.data();
+        for (index_t a = 0; a < b.num_atoms; ++a) {
+          for (int d = 0; d < 3; ++d) {
+            cart[a * 3 + d] = std::numeric_limits<float>::quiet_NaN();
+          }
+        }
+      };
+  ShardRouter router(net, rc);
+
+  ASSERT_TRUE(router.submit(seeded_crystal(4000)).ok());
+  *poison = true;
+  auto replies = router.drain();
+  *poison = false;
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_FALSE(replies[0].ok());
+  EXPECT_EQ(replies[0].code(), ErrorCode::kNumericFault);
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDegraded);
+  EXPECT_TRUE(router.shard(0).routable());
+
+  // A degraded shard keeps serving; a clean tick returns it to healthy.
+  ASSERT_TRUE(router.submit(seeded_crystal(4001)).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok()) << replies[0].error().message;
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kHealthy);
+}
+
+// ----------------------------------------------------------- determinism --
+
+struct BatteryRecord {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kInvalidInput;
+  int shard = -1;
+  bool rerouted = false;
+  double energy = 0.0;
+  std::vector<data::Vec3> forces;
+};
+
+std::vector<BatteryRecord> run_battery(const model::CHGNet& net, int shards,
+                                       const parallel::FaultPlan* plan) {
+  RouterConfig rc = base_config(shards);
+  rc.fault_plan = plan;
+  ShardRouter router(net, rc);
+
+  std::vector<BatteryRecord> records;
+  const int waves = 6, wave_size = 10, distinct = 20;
+  for (int w = 0; w < waves; ++w) {
+    for (int i = 0; i < wave_size; ++i) {
+      const std::uint64_t seed = 5000 + (w * wave_size + i) * 7 % distinct;
+      EXPECT_TRUE(router.submit(seeded_crystal(seed)).ok());
+    }
+    for (const auto& r : router.drain()) {
+      BatteryRecord rec;
+      rec.ok = r.ok();
+      if (r.ok()) {
+        rec.shard = r.value().shard;
+        rec.rerouted = r.value().rerouted;
+        rec.energy = r.value().energy;
+        rec.forces = r.value().forces;
+      } else {
+        rec.code = r.code();
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+// Satellite: same seed + same fault plan => identical per-request shard
+// assignment, reroute count, and bit-identical predictions, for 1, 2 and 4
+// shards -- and the predictions agree across shard counts.
+TEST(ShardDeterminism, IdenticalRunsAndShardCountsAgreeBitwise) {
+  model::CHGNet net(tiny_config(), 19);
+  // Shard index 1 dies at tick 2: a no-op for the 1-shard fleet, a real
+  // mid-stream failover for 2 and 4 shards.
+  parallel::FaultPlan plan = parallel::parse_fault_plan("fail:1@2");
+
+  std::vector<std::vector<BatteryRecord>> per_count;
+  for (int shards : {1, 2, 4}) {
+    auto first = run_battery(net, shards, &plan);
+    auto second = run_battery(net, shards, &plan);
+    ASSERT_EQ(first.size(), second.size()) << shards << " shards";
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      const std::string what =
+          std::to_string(shards) + " shards, request " + std::to_string(i);
+      ASSERT_EQ(first[i].ok, second[i].ok) << what;
+      EXPECT_EQ(first[i].shard, second[i].shard) << what;
+      EXPECT_EQ(first[i].rerouted, second[i].rerouted) << what;
+      EXPECT_EQ(first[i].energy, second[i].energy) << what;
+      EXPECT_EQ(first[i].forces, second[i].forces) << what;
+    }
+    per_count.push_back(std::move(first));
+  }
+
+  // 2- and 4-shard fleets saw a mid-stream shard death; every request must
+  // still be answered, and bit-identically to the 1-shard fleet.
+  for (std::size_t n = 1; n < per_count.size(); ++n) {
+    ASSERT_EQ(per_count[n].size(), per_count[0].size());
+    int rerouted = 0;
+    for (std::size_t i = 0; i < per_count[n].size(); ++i) {
+      const std::string what = "fleet " + std::to_string(n) + ", request " +
+                               std::to_string(i);
+      ASSERT_TRUE(per_count[n][i].ok) << what;
+      ASSERT_TRUE(per_count[0][i].ok) << what;
+      EXPECT_EQ(per_count[n][i].energy, per_count[0][i].energy) << what;
+      EXPECT_EQ(per_count[n][i].forces, per_count[0][i].forces) << what;
+      if (per_count[n][i].rerouted) ++rerouted;
+    }
+    EXPECT_GT(rerouted, 0) << "fault plan never forced a reroute";
+  }
+}
+
+// ---------------------------------------------------------- load shedding --
+
+TEST(ShardShedding, GlobalWatermarkShedsTyped) {
+  model::CHGNet net(tiny_config(), 23);
+  RouterConfig rc = base_config(2);
+  rc.shed_watermark = 3;
+  ShardRouter router(net, rc);
+
+  bool shed_seen = false;
+  for (std::uint64_t seed = 6000; seed < 6100; ++seed) {
+    auto ticket = router.submit(seeded_crystal(seed));
+    if (!ticket.ok()) {
+      EXPECT_EQ(ticket.code(), ErrorCode::kOverloaded);
+      EXPECT_NE(ticket.error().message.find("global shed"), std::string::npos)
+          << ticket.error().message;
+      // The shed fired because *every* routable queue was at the watermark.
+      for (int id : router.shard_ids()) {
+        EXPECT_GE(router.shard(id).engine().queue_depth(), rc.shed_watermark);
+      }
+      shed_seen = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(shed_seen) << "100 distinct submits never hit watermark 3x2";
+  EXPECT_GE(router.stats().shed, 1u);
+
+  // Draining restores admission.
+  for (const auto& r : router.drain()) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+  }
+  EXPECT_EQ(router.queue_depth(), 0u);
+  EXPECT_TRUE(router.submit(seeded_crystal(6999)).ok());
+}
+
+TEST(ShardShedding, AllShardsDownIsTypedNotFatal) {
+  model::CHGNet net(tiny_config(), 29);
+  RouterConfig rc = base_config(2);
+  rc.shard.restart_ticks = 1;
+  parallel::FaultPlan plan = parallel::parse_fault_plan("fail:0@0,fail:1@0");
+  rc.fault_plan = &plan;
+  ShardRouter router(net, rc);
+
+  const std::size_t n = 8;
+  for (std::uint64_t seed = 7000; seed < 7000 + n; ++seed) {
+    ASSERT_TRUE(router.submit(seeded_crystal(seed)).ok());
+  }
+  // Tick 0 kills both shards: the first trip fails its backlog over to the
+  // second shard; the second trip then has no routable sibling.  Every
+  // request still gets a typed reply.
+  auto replies = router.drain();
+  ASSERT_EQ(replies.size(), n);
+  for (const auto& r : replies) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(router.stats().failover_dropped, n);
+  EXPECT_EQ(router.num_routable(), 0);
+
+  // Submitting into a fully-down fleet is typed too.
+  auto ticket = router.submit(seeded_crystal(7100));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.code(), ErrorCode::kOverloaded);
+
+  // restart_ticks = 1: one idle tick moves both shards through kDead into
+  // the restart, and the fleet serves again.
+  (void)router.drain();
+  (void)router.drain();
+  EXPECT_EQ(router.num_routable(), 2);
+  ASSERT_TRUE(router.submit(seeded_crystal(7100)).ok());
+  auto after = router.drain();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].ok()) << after[0].error().message;
+}
+
+TEST(ShardShedding, StrictRerouteAnswersTypedDegraded) {
+  model::CHGNet net(tiny_config(), 31);
+  RouterConfig rc = base_config(2);
+  rc.strict_reroute = true;
+  parallel::FaultPlan plan = parallel::parse_fault_plan("fail:0@0");
+  rc.fault_plan = &plan;
+  ShardRouter router(net, rc);
+
+  const std::uint64_t on_victim = seed_with_affinity(router, 0, 8000);
+  const std::uint64_t on_other = seed_with_affinity(router, 1, 8000);
+  ASSERT_TRUE(router.submit(seeded_crystal(on_victim)).ok());
+  ASSERT_TRUE(router.submit(seeded_crystal(on_other)).ok());
+
+  auto replies = router.drain();
+  ASSERT_EQ(replies.size(), 2u);
+  // gid order: the victim's request first.
+  ASSERT_FALSE(replies[0].ok());
+  EXPECT_EQ(replies[0].code(), ErrorCode::kDegraded);
+  ASSERT_TRUE(replies[1].ok()) << replies[1].error().message;
+  EXPECT_EQ(replies[1].value().shard, 1);
+  EXPECT_FALSE(replies[1].value().rerouted);
+
+  // While the affinity shard is down, strict routing refuses new requests
+  // for it with the same typed error instead of silently rerouting.
+  auto ticket = router.submit(seeded_crystal(on_victim));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.code(), ErrorCode::kDegraded);
+  EXPECT_TRUE(router.submit(seeded_crystal(on_other)).ok());
+}
+
+// ------------------------------------------------- elastic fleet + books --
+
+TEST(ShardElastic, ResizeMidTrafficKeepsServingAndBooks) {
+  model::CHGNet net(tiny_config(), 37);
+  ShardRouter router(net, base_config(2));
+
+  std::uint64_t ok_replies = 0;
+  auto pump = [&](std::uint64_t seed0, int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(router.submit(seeded_crystal(seed0 + i % 8)).ok());
+    }
+    for (const auto& r : router.drain()) {
+      ASSERT_TRUE(r.ok()) << r.error().message;
+      ++ok_replies;
+    }
+  };
+
+  pump(9000, 16);
+  const int added = router.add_shard();
+  EXPECT_EQ(router.num_shards(), 3);
+  pump(9000, 16);
+
+  // Remove the new shard while it has queued work: the backlog fails over
+  // and is answered, and its books fold into the fleet accumulators.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(router.submit(seeded_crystal(9100 + i)).ok());
+  }
+  ASSERT_TRUE(router.remove_shard(added).ok());
+  EXPECT_EQ(router.num_shards(), 2);
+  for (const auto& r : router.drain()) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_NE(r.value().shard, added);
+    ++ok_replies;
+  }
+  pump(9000, 16);
+
+  EXPECT_FALSE(router.remove_shard(999).ok());
+  const EngineStats fleet = router.fleet_stats();
+  EXPECT_EQ(fleet.served, ok_replies);
+  const CacheStats cache = router.fleet_cache_stats();
+  EXPECT_EQ(cache.lookups, cache.hits + cache.misses);
+  EXPECT_GT(cache.hits, 0u);
+}
+
+// Satellite: fleet-wide cache counters reconcile exactly across seeded
+// mid-stream shard deaths and restarts.
+TEST(ShardReconciliation, FleetCountersExactAcrossRestarts) {
+  model::CHGNet net(tiny_config(), 41);
+  RouterConfig rc = base_config(4);
+  rc.shard.restart_ticks = 1;
+  parallel::FaultPlan plan = parallel::parse_fault_plan("fail:2@1,fail:0@3");
+  rc.fault_plan = &plan;
+  ShardRouter router(net, rc);
+
+  std::uint64_t ok_replies = 0, error_replies = 0;
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          router.submit(seeded_crystal(10000 + (wave * 12 + i) % 24)).ok());
+    }
+    for (const auto& r : router.drain()) {
+      if (r.ok()) {
+        ++ok_replies;
+        EXPECT_TRUE(std::isfinite(r.value().energy));
+      } else {
+        ++error_replies;
+      }
+    }
+  }
+
+  EXPECT_EQ(ok_replies + error_replies, 120u);
+  EXPECT_EQ(error_replies, 0u) << "3 healthy shards should absorb failovers";
+  EXPECT_EQ(router.stats().trips, 2u);
+  EXPECT_EQ(router.stats().restarts, 2u);
+  EXPECT_EQ(router.shard(2).restarts() + router.shard(0).restarts(), 2u);
+
+  // The reconciliation invariant the satellite demands: across both
+  // restarts, fleet-wide lookups == hits + misses, exactly.
+  const CacheStats cache = router.fleet_cache_stats();
+  EXPECT_EQ(cache.lookups, cache.hits + cache.misses);
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_EQ(router.fleet_stats().served, ok_replies);
+
+  // And the per-shard books agree with the fleet sum.
+  CacheStats by_shard;
+  for (int id : router.shard_ids()) {
+    by_shard.merge(router.shard(id).lifetime_cache_stats());
+  }
+  EXPECT_EQ(by_shard.lookups, cache.lookups);
+  EXPECT_EQ(by_shard.hits, cache.hits);
+  EXPECT_EQ(by_shard.misses, cache.misses);
+}
+
+// --------------------------------------------------- shard-local arenas --
+
+TEST(ShardArena, SteadyStateRecyclesShardLocallyAndTrimsBursts) {
+  if (!alloc::pooling_enabled()) {
+    GTEST_SKIP() << "pooling disabled (FASTCHG_ALLOC=system)";
+  }
+  model::CHGNet net(tiny_config(), 43);
+  RouterConfig rc = base_config(2);
+  rc.shard.engine.cache_capacity = 0;  // force a forward per request
+  rc.shard.engine.quantize = true;     // int8 path must recycle too
+  rc.shard.pool_trim_slack = 0;        // trim hard between ticks
+  ShardRouter router(net, rc);
+
+  auto pump_small = [&] {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(router.submit(seeded_crystal(11000 + i % 6)).ok());
+    }
+    for (const auto& r : router.drain()) {
+      ASSERT_TRUE(r.ok()) << r.error().message;
+    }
+  };
+  const auto fleet_pool = [&] {
+    alloc::PoolStats sum;
+    for (int id : router.shard_ids()) {
+      const alloc::PoolStats ps = router.shard(id).pool().stats();
+      sum.misses += ps.misses;
+      sum.hits += ps.hits;
+      sum.trimmed_bytes += ps.trimmed_bytes;
+    }
+    return sum;
+  };
+
+  // Burst: one wave of much larger structures inflates the big buckets.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(router.submit(seeded_crystal(12000 + i, 16, 20)).ok());
+  }
+  for (const auto& r : router.drain()) ASSERT_TRUE(r.ok());
+
+  // Next small wave: the burst's buckets sit idle over the demand window,
+  // so the end-of-tick watermark trim returns them upstream (the
+  // satellite's observable).
+  pump_small();
+  EXPECT_GT(fleet_pool().trimmed_bytes, 0u);
+
+  // Even with zero slack, repeat waves re-fault nothing: each bucket keeps
+  // its own windowed working set across the trim.
+  pump_small();  // rebuild any post-burst bucket mix once
+  const std::uint64_t miss_steady = fleet_pool().misses;
+  pump_small();
+  pump_small();
+  const alloc::PoolStats end = fleet_pool();
+  EXPECT_GT(end.hits, 0u);
+  EXPECT_EQ(end.misses, miss_steady)
+      << "steady-state waves re-faulted slabs the trim released";
+
+  // With the default (generous) slack, steady-state repeat waves stop
+  // missing to the upstream allocator entirely: shard-local recycling.
+  RouterConfig rc2 = base_config(2);
+  rc2.shard.engine.cache_capacity = 0;
+  rc2.shard.engine.quantize = true;
+  ShardRouter warm(net, rc2);
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(warm.submit(seeded_crystal(11000 + i % 6)).ok());
+    }
+    for (const auto& r : warm.drain()) ASSERT_TRUE(r.ok());
+  }
+  std::uint64_t warm_misses = 0;
+  for (int id : warm.shard_ids()) {
+    warm_misses += warm.shard(id).pool().stats().misses;
+  }
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(warm.submit(seeded_crystal(11000 + i % 6)).ok());
+    }
+    for (const auto& r : warm.drain()) ASSERT_TRUE(r.ok());
+  }
+  std::uint64_t warm_misses_after = 0;
+  for (int id : warm.shard_ids()) {
+    warm_misses_after += warm.shard(id).pool().stats().misses;
+  }
+  EXPECT_EQ(warm_misses_after, warm_misses)
+      << "steady-state sharded serving faulted new slabs";
+}
+
+}  // namespace
+}  // namespace fastchg::serve

@@ -9,14 +9,22 @@
 // throughput to A100-equivalent (so one 4-GPU iteration over 2048 samples
 // costs ~1.25 s, the figure implied by the paper's epoch times), then
 // simulate the exact shard assignments + ring all-reduce + straggler model.
+//
+// Beyond the paper: the sweep continues to 64-256 virtual devices under
+// both the flat and the two-level hierarchical all-reduce, tracking the
+// load-balance sampler's CoV and the per-phase comm breakdown, and reports
+// where the comm model says scaling dies (efficiency < 50%).
 #include "bench_common.hpp"
+
+#include <cmath>
 
 #include "parallel/scaling.hpp"
 
 namespace fastchg::bench {
 namespace {
 
-void print_points(const char* title, const std::vector<parallel::ScalingPoint>& pts,
+void print_points(const char* title,
+                  const std::vector<parallel::ScalingPoint>& pts,
                   const double paper_speedup[], const double paper_eff[]) {
   print_rule();
   std::printf("%s\n", title);
@@ -28,6 +36,51 @@ void print_points(const char* title, const std::vector<parallel::ScalingPoint>& 
                 100.0 * pts[i].efficiency, paper_speedup[i],
                 100.0 * paper_eff[i]);
   }
+}
+
+void print_extended(const char* title,
+                    const std::vector<parallel::ScalingPoint>& hier,
+                    const std::vector<parallel::ScalingPoint>& flat) {
+  print_rule();
+  std::printf("%s\n", title);
+  std::printf("%8s %12s %10s %8s %8s | %10s %10s %10s | %10s\n", "GPUs",
+              "epoch(s)", "eff", "comm%", "CoV", "rs(us)", "ring(us)",
+              "bcast(us)", "flat/hier");
+  for (std::size_t i = 0; i < hier.size(); ++i) {
+    const auto& h = hier[i];
+    const double ratio =
+        flat[i].epoch_seconds / std::max(h.epoch_seconds, 1e-30);
+    std::printf("%8d %12.1f %9.1f%% %7.1f%% %8.3f | %10.1f %10.1f %10.1f "
+                "| %9.3fx\n",
+                h.devices, h.epoch_seconds, 100.0 * h.efficiency,
+                100.0 * h.comm_fraction, h.load_cov,
+                1e6 * h.reduce_scatter_s, 1e6 * h.leader_ring_s,
+                1e6 * h.broadcast_s, ratio);
+  }
+}
+
+/// Deterministic sampler-balance CoV: coefficient of variation of the
+/// integer workload proxy across the devices of each iteration, averaged
+/// over the plan.  Pure integer arithmetic on the seeded shard plan, so it
+/// gates at the tight tolerance (unlike the calibrated-seconds CoV).
+double plan_load_cov(const parallel::ShardPlan& plan,
+                     const std::vector<index_t>& loads) {
+  double cov_sum = 0.0;
+  for (const auto& shards : plan.iterations) {
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& shard : shards) {
+      double l = 0.0;
+      for (index_t r : shard) l += static_cast<double>(loads[static_cast<std::size_t>(r)]);
+      sum += l;
+      sumsq += l * l;
+    }
+    const double np = static_cast<double>(shards.size());
+    const double mean = sum / np;
+    if (mean > 0.0) {
+      cov_sum += std::sqrt(std::max(0.0, sumsq / np - mean * mean)) / mean;
+    }
+  }
+  return cov_sum / static_cast<double>(plan.iterations.size());
 }
 
 int run(int argc, char** argv) {
@@ -81,6 +134,50 @@ int run(int argc, char** argv) {
   print_points("(b) weak scaling, 512 samples/GPU", weak, paper_weak_spd,
                paper_weak_eff);
 
+  // 4. Beyond the paper: 64-256 virtual devices, hierarchical vs flat.
+  ScalingConfig xcfg = cfg;
+  xcfg.device_counts = {4, 8, 16, 32, 64, 128, 256};
+  auto xstrong = strong_scaling(cm, ds, model_bytes, xcfg);
+  ScalingConfig xflat = xcfg;
+  xflat.comm.hierarchical = false;
+  auto xstrong_flat = strong_scaling(cm, ds, model_bytes, xflat);
+  print_extended("(c) extended strong scaling, two-level all-reduce "
+                 "(flat/hier = epoch-time ratio under the flat ring)",
+                 xstrong, xstrong_flat);
+
+  // Weak scaling past 32 devices needs per-device batch small enough that
+  // 256 * batch fits the sample pool.
+  ScalingConfig wcfg = xcfg;
+  wcfg.weak_per_device_batch = opt.full ? 64 : 16;
+  wcfg.device_counts = {32, 64, 128, 256};
+  auto xweak = weak_scaling(cm, ds, model_bytes, wcfg);
+  ScalingConfig wflat = wcfg;
+  wflat.comm.hierarchical = false;
+  auto xweak_flat = weak_scaling(cm, ds, model_bytes, wflat);
+  print_extended("(d) extended weak scaling (efficiency relative to 32 "
+                 "devices)",
+                 xweak, xweak_flat);
+
+  // Where does the comm model say scaling dies?  First extended-strong
+  // point under 50% efficiency: per-device compute shrinks ~1/P while the
+  // exposed per-bucket latency term keeps growing with the leader-ring
+  // hops, so past this point adding devices buys almost nothing.
+  int death = 0;
+  for (const auto& p : xstrong) {
+    if (p.efficiency < 0.5) {
+      death = p.devices;
+      break;
+    }
+  }
+  print_rule();
+  if (death > 0) {
+    std::printf("scaling death (strong eff < 50%%): %d devices\n", death);
+  } else {
+    std::printf("scaling death (strong eff < 50%%): not reached by %d "
+                "devices\n",
+                xcfg.device_counts.back());
+  }
+
   for (const auto& p : strong) {
     rec.metric("strong.gpus" + std::to_string(p.devices) + ".epoch.seconds",
                p.epoch_seconds);
@@ -88,6 +185,52 @@ int run(int argc, char** argv) {
   for (const auto& p : weak) {
     rec.metric("weak.gpus" + std::to_string(p.devices) + ".epoch.seconds",
                p.epoch_seconds);
+  }
+  for (const auto& p : xstrong) {
+    if (p.devices < 64) continue;
+    rec.metric("strongx.gpus" + std::to_string(p.devices) +
+                   ".epoch.seconds",
+               p.epoch_seconds);
+  }
+  for (const auto& p : xweak) {
+    rec.metric("weakx.gpus" + std::to_string(p.devices) + ".epoch.seconds",
+               p.epoch_seconds);
+  }
+  // The comm-model terms are pure functions of (model bytes, ring size,
+  // CommConfig) -- deterministic, gated at the tight tolerance.
+  for (std::size_t i = 0; i < xstrong.size(); ++i) {
+    const auto& h = xstrong[i];
+    if (h.devices < 32) continue;
+    const std::string tag = "gpus" + std::to_string(h.devices);
+    rec.metric("comm.hier." + tag + ".us",
+               1e6 * (h.comm_bandwidth_s + h.comm_latency_s));
+    rec.metric("comm.flat." + tag + ".us",
+               1e6 * (xstrong_flat[i].comm_bandwidth_s +
+                      xstrong_flat[i].comm_latency_s));
+  }
+  const auto& top = xstrong.back();
+  rec.metric("comm.hier.gpus256.reduce_scatter.us",
+             1e6 * top.reduce_scatter_s);
+  rec.metric("comm.hier.gpus256.leader_ring.us", 1e6 * top.leader_ring_s);
+  rec.metric("comm.hier.gpus256.broadcast.us", 1e6 * top.broadcast_s);
+
+  // Deterministic sampler-balance CoV from the integer workload proxy.
+  {
+    const std::vector<index_t> rows_all = [&] {
+      std::vector<index_t> r(static_cast<std::size_t>(ds.size()));
+      for (index_t i = 0; i < ds.size(); ++i) r[static_cast<std::size_t>(i)] = i;
+      return r;
+    }();
+    const std::vector<index_t> loads = sample_workloads(ds);
+    for (int p : {64, 256}) {
+      SamplerConfig scfg;
+      scfg.num_devices = p;
+      scfg.global_batch = 2048;
+      scfg.seed = xcfg.seed;
+      ShardPlan plan = load_balance_sharding(rows_all, loads, scfg);
+      rec.metric("cov.loadbalance.gpus" + std::to_string(p),
+                 plan_load_cov(plan, loads));
+    }
   }
 
   print_rule();
@@ -100,8 +243,16 @@ int run(int argc, char** argv) {
   }
   shape_ok = shape_ok && strong.back().efficiency < strong[1].efficiency;
   shape_ok = shape_ok && weak.back().efficiency < 1.0;
+  // Extended-sweep invariants: the two-level schedule must beat the flat
+  // ring once the ring spans nodes, and by a growing margin.
+  for (std::size_t i = 0; i < xstrong.size(); ++i) {
+    if (xstrong[i].devices <= 4) continue;
+    shape_ok =
+        shape_ok && xstrong_flat[i].epoch_seconds > xstrong[i].epoch_seconds;
+  }
   std::printf("[shape %s] monotone sub-linear strong speedup with decaying "
-              "efficiency; weak efficiency below 100%% and above strong\n",
+              "efficiency; weak efficiency below 100%%; hierarchical beats "
+              "flat past one node\n",
               shape_ok ? "OK" : "MISMATCH");
   rec.finish();
   return 0;

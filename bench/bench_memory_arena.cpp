@@ -9,6 +9,9 @@
 //   * train.pool_{off,on}.mallocs_per_step -- Allocator-layer system
 //     allocations per train step on a warmed trainer (prefetch off,
 //     deterministic);
+//   * train.prefetch_pool.mallocs_per_step -- per step with prefetch ON
+//     and the loader collating into the trainer's step pool (the handoff);
+//     must be exactly 0 once the pool saturates;
 //   * serve.pool_{off,on}.mallocs_per_forward -- same per fused
 //     micro-batched forward on a warmed engine;
 //   * serve_int8.pool_{off,on}.mallocs_per_forward -- same through an
@@ -89,6 +92,48 @@ PhaseCounts measure_train(bool pooled, const BenchOptions& opt) {
   pc.pool_misses = static_cast<double>(c.pool_misses);
   pc.slab_high_water = static_cast<double>(c.pool_high_water);
   pc.seconds = secs;
+  return pc;
+}
+
+/// Prefetch handoff: the loader collates into the trainer's own step pool,
+/// so batch blocks the main thread frees mid-step are re-served to the
+/// background collation of step N+1.  Shuffle-driven shape variance means
+/// the pool's free lists take a few epochs to cover every bucket demand
+/// (each miss grows them monotonically -- the trainer pool never trims),
+/// after which a steady-state epoch performs *exactly zero* system
+/// allocations even with the second thread in flight.  Trains until an
+/// epoch runs clean and reports that epoch's counts.
+PhaseCounts measure_train_prefetch(const BenchOptions& opt,
+                                   int* epochs_to_clean) {
+  alloc::set_pooling_enabled(true);
+  data::Dataset ds = bench::bench_dataset(kRows, 404, opt);
+  model::CHGNet net(bench::bench_model_config(3, opt), 7);
+  train::TrainConfig tc;
+  tc.batch_size = kBatch;
+  constexpr int kMaxEpochs = 12;
+  tc.epochs = kMaxEpochs;
+  tc.prefetch = true;
+  train::Trainer trainer(net, tc);
+  const std::vector<index_t> idx = all_rows(ds);
+
+  PhaseCounts pc;
+  *epochs_to_clean = kMaxEpochs;
+  for (int e = 0; e < kMaxEpochs; ++e) {
+    bench::reset_counters();
+    perf::Timer t;
+    trainer.train_epoch(ds, idx, e);
+    pc.seconds = t.seconds();
+    const perf::Counters c = perf::counters().snapshot();
+    pc.mallocs_per_unit =
+        static_cast<double>(c.system_allocs) / static_cast<double>(kSteps);
+    pc.pool_hits = static_cast<double>(c.pool_hits);
+    pc.pool_misses = static_cast<double>(c.pool_misses);
+    pc.slab_high_water = static_cast<double>(c.pool_high_water);
+    if (c.system_allocs == 0) {
+      *epochs_to_clean = e + 1;
+      break;
+    }
+  }
   return pc;
 }
 
@@ -297,6 +342,20 @@ int main(int argc, char** argv) {
               train_ratio, train_on.pool_hits, train_on.pool_misses,
               train_on.slab_high_water);
 
+  // -- prefetch handoff steady state -----------------------------------
+  int prefetch_epochs = 0;
+  const PhaseCounts train_pf = measure_train_prefetch(opt, &prefetch_epochs);
+  bench::print_rule();
+  std::printf("train + prefetch handoff (loader collates into the step "
+              "pool):\n");
+  std::printf("  pool on  : %10.1f system allocs/step   (clean after %d "
+              "epochs, %.3fs epoch)\n",
+              train_pf.mallocs_per_unit, prefetch_epochs, train_pf.seconds);
+  std::printf("  acceptance: exactly 0  (hits %.0f  misses %.0f  slab HW "
+              "%.0f B)\n",
+              train_pf.pool_hits, train_pf.pool_misses,
+              train_pf.slab_high_water);
+
   // -- serving steady state --------------------------------------------
   const PhaseCounts serve_off = measure_serve(false, opt);
   const PhaseCounts serve_on = measure_serve(true, opt);
@@ -344,8 +403,8 @@ int main(int argc, char** argv) {
   alloc::set_pooling_enabled(prev_pooling);
 
   const bool pass = train_ratio <= 0.01 && serve_ratio <= 0.01 &&
-                    i8_ratio <= 0.01 && diff_train == 0.0 && diff_dp == 0.0 &&
-                    diff_serve == 0.0;
+                    i8_ratio <= 0.01 && train_pf.mallocs_per_unit == 0.0 &&
+                    diff_train == 0.0 && diff_dp == 0.0 && diff_serve == 0.0;
   std::printf("\nshape check: %s\n", pass ? "PASS" : "FAIL");
 
   // Gated metrics: allocation counts and bit-exactness are deterministic
@@ -354,6 +413,10 @@ int main(int argc, char** argv) {
   rec.metric("train.pool_on.mallocs_per_step", train_on.mallocs_per_unit);
   rec.metric("train.malloc_ratio", train_ratio);
   rec.metric("train.pool_on.misses", train_on.pool_misses);
+  // Exact 0: the handoff's whole point.  (Epochs-to-clean is printed, not
+  // gated -- thread interleaving can shift it by one.)
+  rec.metric("train.prefetch_pool.mallocs_per_step",
+             train_pf.mallocs_per_unit);
   rec.metric("serve.pool_off.mallocs_per_forward",
              serve_off.mallocs_per_unit);
   rec.metric("serve.pool_on.mallocs_per_forward", serve_on.mallocs_per_unit);

@@ -1,0 +1,250 @@
+// Open-loop serving latency under Poisson arrivals (perf-gate wired).
+//
+// Closed-loop benches (submit a wave, drain, repeat) hide queueing: the
+// client politely waits for the fleet.  Real front-end traffic is open
+// loop -- requests arrive on their own clock whether or not the fleet is
+// keeping up -- so tail latency is dominated by the queue, not the
+// forward.  This bench drives the sharded router with a deterministic
+// Poisson arrival process at several offered loads, including one far
+// enough above the global shed watermark that load shedding must engage,
+// and reports p50 / p99 / p999 sojourn (queue + service) latency in
+// *simulated* time (the virtual-time convention of serve/router.hpp: a
+// tick's service time is the max of its shards' measured drain times).
+//
+// Determinism split, as everywhere in the bench suite:
+//   * the arrival process, admission ledger (submitted / served / shed)
+//     and every queue-occupancy decision depend only on seeded Poisson
+//     draws and queue capacities -- gated at the tight tolerance;
+//   * latency percentiles are wall-derived (measured drain times), so
+//     their metrics carry the ".seconds" suffix for the loose tolerance.
+//
+// tools/perf_gate compares BENCH_trace_serve_latency.json against
+// bench/baselines/BENCH_trace_serve_latency.json in CI.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "data/generator.hpp"
+#include "serve/router.hpp"
+
+namespace fastchg::bench {
+namespace {
+
+using namespace serve;
+
+/// Knuth's Poisson sampler: deterministic given the Rng stream, fine for
+/// the per-tick means used here (< ~200).
+int poisson_draw(Rng& rng, double mean) {
+  const double limit = std::exp(-mean);
+  double prod = rng.uniform();
+  int n = 0;
+  while (prod > limit) {
+    prod *= rng.uniform();
+    ++n;
+  }
+  return n;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+struct LoadResult {
+  std::string name;
+  double offered = 0.0;  ///< mean arrivals per tick
+  std::uint64_t arrivals = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t typed_errors = 0;  ///< non-shed rejections (none expected)
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  double mean_queue_ms = 0.0;
+};
+
+/// One offered-load point: Poisson(mean_per_tick) arrivals per router tick
+/// against a 4-shard fleet, `ticks` ticks of simulated time at a fixed
+/// `tick_ms` cadence.  Requests arriving while the fleet is behind inherit
+/// the backlog delay; requests arriving when every routable queue sits at
+/// the shed watermark are shed with a typed kOverloaded.
+LoadResult run_load(const model::CHGNet& net, const BenchOptions& opt,
+                    const std::string& name, double mean_per_tick, int ticks,
+                    const std::vector<data::Crystal>& pool) {
+  RouterConfig rc;
+  rc.num_shards = 4;
+  rc.vnodes = 128;
+  rc.shard.engine.graph = bench_graph_config(opt);
+  rc.shard.engine.max_batch = 8;
+  rc.shard.engine.queue_capacity = 64;
+  rc.shard.engine.cache_capacity = 256;
+  rc.shed_watermark = 24;  // low enough that the overload point must shed
+  ShardRouter router(net, rc);
+
+  // Warm tick: first-touch slab faults, graph builds and lazy init stay
+  // out of the measured drain times.
+  for (int i = 0; i < 8; ++i) {
+    FASTCHG_CHECK(router.submit(pool[static_cast<std::size_t>(i)]).ok(),
+                  "warm submit rejected");
+  }
+  for (const auto& r : router.drain()) {
+    FASTCHG_CHECK(r.ok(), "warm reply failed");
+  }
+
+  const double tick_ms = 25.0;  // simulated tick cadence
+  Rng rng(0xA771C5 + static_cast<std::uint64_t>(mean_per_tick));
+  LoadResult res;
+  res.name = name;
+  res.offered = mean_per_tick;
+
+  std::vector<double> sojourn_ms;           // served requests only
+  std::vector<double> arrival_offsets;      // within the current tick
+  std::vector<double> in_flight_arrivals;   // arrival time per admission
+  double queue_wait_sum = 0.0;
+  double backlog_ms = 0.0;  // how far the fleet is behind the arrival clock
+  std::size_t next_structure = 0;
+
+  for (int t = 0; t < ticks; ++t) {
+    const double tick_start = static_cast<double>(t) * tick_ms;
+    const int n_arrivals = poisson_draw(rng, mean_per_tick);
+    arrival_offsets.clear();
+    for (int i = 0; i < n_arrivals; ++i) {
+      arrival_offsets.push_back(rng.uniform(0.0, tick_ms));
+    }
+    // Arrival order within the tick is time order.
+    std::sort(arrival_offsets.begin(), arrival_offsets.end());
+
+    in_flight_arrivals.clear();
+    for (double off : arrival_offsets) {
+      ++res.arrivals;
+      const data::Crystal& c = pool[next_structure++ % pool.size()];
+      auto ticket = router.submit(c);
+      if (ticket.ok()) {
+        in_flight_arrivals.push_back(tick_start + off);
+      } else if (ticket.code() == ErrorCode::kOverloaded) {
+        ++res.shed;
+      } else {
+        ++res.typed_errors;
+      }
+    }
+
+    const auto replies = router.drain();
+    FASTCHG_CHECK(replies.size() == in_flight_arrivals.size(),
+                  "tick returned " << replies.size() << " replies for "
+                                   << in_flight_arrivals.size()
+                                   << " admissions");
+    // The drain starts at the tick boundary, later if the fleet is still
+    // chewing through earlier ticks; every reply in the batch completes
+    // when the fleet's slowest shard finishes (max-over-shards, already
+    // folded into last_tick_sim_ms by the router).
+    const double drain_start = tick_start + tick_ms + backlog_ms;
+    const double service_ms = router.stats().last_tick_sim_ms;
+    const double complete = drain_start + service_ms;
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      FASTCHG_CHECK(replies[i].ok(),
+                    "reply failed: " << replies[i].error().message);
+      ++res.served;
+      sojourn_ms.push_back(complete - in_flight_arrivals[i]);
+      queue_wait_sum += drain_start - in_flight_arrivals[i];
+    }
+    backlog_ms = std::max(0.0, backlog_ms + service_ms - tick_ms);
+  }
+
+  res.p50_ms = percentile(sojourn_ms, 0.50);
+  res.p99_ms = percentile(sojourn_ms, 0.99);
+  res.p999_ms = percentile(sojourn_ms, 0.999);
+  res.mean_queue_ms =
+      res.served > 0 ? queue_wait_sum / static_cast<double>(res.served) : 0.0;
+  return res;
+}
+
+int run(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  BenchRecorder rec("serve_latency", argc, argv);
+  print_header("Serve latency",
+               "open-loop Poisson arrivals: sojourn percentiles + shedding");
+
+  model::CHGNet net(bench_model_config(3, opt), 17);
+
+  Rng gen_rng(2468);
+  data::GeneratorConfig gen;
+  gen.min_atoms = 2;
+  gen.max_atoms = opt.full ? 24 : 12;
+  const int distinct = opt.full ? 128 : 64;
+  std::vector<data::Crystal> pool;
+  for (int i = 0; i < distinct; ++i) {
+    pool.push_back(data::random_crystal(gen_rng, gen));
+  }
+
+  // Offered loads, in mean arrivals per 25 ms tick against a 4-shard fleet
+  // with shed_watermark 24: "low" leaves queues near-empty, "mid" keeps
+  // them busy but below the watermark, "overload" bursts past every
+  // routable queue's watermark so global shedding must engage.
+  const int ticks = opt.full ? 60 : 40;
+  struct LoadSpec {
+    const char* name;
+    double mean;
+  };
+  const LoadSpec specs[] = {{"low", 8.0}, {"mid", 48.0}, {"overload", 160.0}};
+
+  std::printf("\n%-10s %9s %9s %9s %9s %11s %11s %11s\n", "load", "arrived",
+              "served", "shed", "typed", "p50 ms", "p99 ms", "p999 ms");
+  std::vector<LoadResult> results;
+  for (const LoadSpec& spec : specs) {
+    LoadResult r = run_load(net, opt, spec.name, spec.mean, ticks, pool);
+    std::printf("%-10s %9llu %9llu %9llu %9llu %11.2f %11.2f %11.2f\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.arrivals),
+                static_cast<unsigned long long>(r.served),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.typed_errors), r.p50_ms,
+                r.p99_ms, r.p999_ms);
+    results.push_back(std::move(r));
+  }
+
+  // Shape checks.  Percentiles are monotone by construction; the ledger
+  // must reconcile per load; shedding engages exactly where designed.
+  for (const LoadResult& r : results) {
+    FASTCHG_CHECK(r.arrivals == r.served + r.shed + r.typed_errors,
+                  r.name << ": ledger does not reconcile");
+    FASTCHG_CHECK(r.typed_errors == 0,
+                  r.name << ": unexpected non-shed rejections");
+    FASTCHG_CHECK(r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms,
+                  r.name << ": percentiles not monotone");
+  }
+  FASTCHG_CHECK(results[0].shed == 0, "low load should never shed");
+  FASTCHG_CHECK(results[2].shed > 0,
+                "overload never crossed the shed watermark");
+  std::printf("\nshape check: PASS (ledger reconciles, overload shed %llu "
+              "of %llu)\n",
+              static_cast<unsigned long long>(results[2].shed),
+              static_cast<unsigned long long>(results[2].arrivals));
+
+  // Ledger counts are pure functions of the seeded arrival process and
+  // queue capacities -- tight gate.  Percentiles ride measured drain
+  // times -- ".seconds" gate.
+  for (const LoadResult& r : results) {
+    rec.metric("latency." + r.name + ".shed", static_cast<double>(r.shed));
+    rec.metric("latency." + r.name + ".served",
+               static_cast<double>(r.served));
+    rec.metric("latency." + r.name + ".p50.seconds", r.p50_ms / 1e3);
+    rec.metric("latency." + r.name + ".p99.seconds", r.p99_ms / 1e3);
+    rec.metric("latency." + r.name + ".p999.seconds", r.p999_ms / 1e3);
+    rec.metric("latency." + r.name + ".mean_queue.seconds",
+               r.mean_queue_ms / 1e3);
+  }
+
+  rec.finish();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastchg::bench
+
+int main(int argc, char** argv) { return fastchg::bench::run(argc, argv); }

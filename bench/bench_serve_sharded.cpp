@@ -167,13 +167,29 @@ int run(int argc, char** argv) {
 
   // ------------------------------------------------------------- battery --
   // 2000 fuzzed requests from a 250-structure pool (result cache absorbs
-  // repeats), shard 1 killed at tick 6 and shard 3 at tick 18.
+  // repeats), shard 1 killed at tick 6 and shard 3 at tick 18.  On top of
+  // the planned faults, a poisoned numeric-fault burst sustained for two
+  // ticks against one victim shard exercises the closed-loop watchdog:
+  // degrade -> auto-trip -> backlog failover -> restart -> healthy rejoin.
   print_rule();
   const int battery_requests = 2000, battery_pool = 250;
   const std::size_t battery_wave = 50;
   RouterConfig rc = base_router_config(opt, 4);
   rc.shard.engine.cache_capacity = 512;
   rc.shard.restart_ticks = 3;
+  rc.shard.degrade_fault_threshold = 1;
+  rc.shard.trip_burst_ticks = 2;
+  auto poison = std::make_shared<bool>(false);
+  rc.shard.engine.corrupt_batch =
+      [poison](data::Batch& b, const std::vector<std::size_t>&) {
+        if (!*poison) return;
+        float* cart = b.cart.data();
+        for (index_t a = 0; a < b.num_atoms; ++a) {
+          for (int d = 0; d < 3; ++d) {
+            cart[a * 3 + d] = std::numeric_limits<float>::quiet_NaN();
+          }
+        }
+      };
   parallel::FaultPlan plan = parallel::parse_fault_plan("fail:1@6,fail:3@18");
   rc.fault_plan = &plan;
   ShardRouter router(net, rc);
@@ -195,16 +211,38 @@ int run(int argc, char** argv) {
     pool.push_back(std::move(c));
   }
 
+  // Burst stream for the watchdog escalation: *fresh* structures (cold
+  // caches force real forwards, which the poison faults) that all share one
+  // victim shard's affinity, so only that shard sustains the burst while
+  // its siblings stay quiet.
+  Rng burst_rng(777);
+  std::vector<data::Crystal> burst_pool;
+  burst_pool.push_back(data::random_crystal(burst_rng, gen));
+  const int victim = router.affinity_shard(burst_pool.front());
+  const std::size_t burst_need = 2 * battery_wave;
+  while (burst_pool.size() < burst_need) {
+    data::Crystal c = data::random_crystal(burst_rng, gen);
+    if (router.affinity_shard(c) == victim) burst_pool.push_back(std::move(c));
+  }
+  const std::uint64_t burst_first_tick = 24;  // both planned trips recovered
+
   std::size_t admitted = 0, replies_seen = 0, served = 0, rerouted = 0,
               typed_errors = 0, silent_nan = 0;
   double max_reroute_diff = 0.0;
   std::vector<const data::Crystal*> in_flight;  // gid order within the tick
+  std::size_t burst_used = 0;
   for (int i = 0; i < battery_requests;) {
+    const std::uint64_t tick = router.stats().ticks;
+    const bool burst_tick =
+        tick >= burst_first_tick && tick < burst_first_tick + 2;
+    *poison = burst_tick;
     in_flight.clear();
     for (std::size_t j = 0; j < battery_wave && i < battery_requests;
          ++j, ++i) {
       const data::Crystal& c =
-          pool[static_cast<std::size_t>(i * 13 % battery_pool)];
+          burst_tick && burst_used < burst_pool.size()
+              ? burst_pool[burst_used++]
+              : pool[static_cast<std::size_t>(i * 13 % battery_pool)];
       if (router.submit(c).ok()) {
         ++admitted;
         in_flight.push_back(&c);
@@ -255,10 +293,11 @@ int run(int argc, char** argv) {
               "errors\n",
               battery_requests, admitted, served, typed_errors);
   std::printf("         %zu rerouted (max diff %.3g), %llu failovers, %llu "
-              "trips, %llu restarts, %llu shed\n",
+              "trips (%llu auto), %llu restarts, %llu shed\n",
               rerouted, max_reroute_diff,
               static_cast<unsigned long long>(rs.failovers),
               static_cast<unsigned long long>(rs.trips),
+              static_cast<unsigned long long>(rs.auto_trips),
               static_cast<unsigned long long>(rs.restarts),
               static_cast<unsigned long long>(rs.shed));
 
@@ -269,7 +308,17 @@ int run(int argc, char** argv) {
   FASTCHG_CHECK(max_reroute_diff == 0.0,
                 "rerouted replies diverged by " << max_reroute_diff);
   FASTCHG_CHECK(rerouted > 0, "fault plan never forced a reroute");
-  FASTCHG_CHECK(rs.trips == 2, "expected 2 trips, saw " << rs.trips);
+  FASTCHG_CHECK(rs.auto_trips == 1,
+                "watchdog burst should auto-trip exactly once, saw "
+                    << rs.auto_trips);
+  FASTCHG_CHECK(rs.trips == 3,
+                "expected 2 planned + 1 watchdog trip, saw " << rs.trips);
+  FASTCHG_CHECK(rs.restarts == 3, "expected 3 restarts, saw " << rs.restarts);
+  FASTCHG_CHECK(router.shard(victim).auto_trips() == 1,
+                "victim shard " << victim << " never escalated");
+  FASTCHG_CHECK(router.shard(victim).health() == ShardHealth::kHealthy,
+                "victim shard " << victim << " did not rejoin healthy: "
+                                << to_string(router.shard(victim).health()));
   const CacheStats fleet_cache = router.fleet_cache_stats();
   FASTCHG_CHECK(fleet_cache.lookups == fleet_cache.hits + fleet_cache.misses,
                 "fleet cache books do not reconcile");
@@ -281,6 +330,7 @@ int run(int argc, char** argv) {
   rec.metric("battery.typed_errors", static_cast<double>(typed_errors));
   rec.metric("battery.rerouted", static_cast<double>(rerouted));
   rec.metric("battery.restarts", static_cast<double>(rs.restarts));
+  rec.metric("battery.auto_trips", static_cast<double>(rs.auto_trips));
 
   // ------------------------------------------------------------- elastic --
   print_rule();

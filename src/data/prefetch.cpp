@@ -6,8 +6,11 @@ namespace fastchg::data {
 
 PrefetchLoader::PrefetchLoader(const data::Dataset& ds,
                                std::vector<std::vector<index_t>> plan,
-                               std::size_t depth)
-    : ds_(ds), plan_(std::move(plan)), depth_(std::max<std::size_t>(depth, 1)) {
+                               std::size_t depth, alloc::AllocatorPtr arena)
+    : ds_(ds),
+      plan_(std::move(plan)),
+      depth_(std::max<std::size_t>(depth, 1)),
+      arena_(std::move(arena)) {
   thread_ = std::thread([this] { worker(); });
 }
 
@@ -23,11 +26,17 @@ PrefetchLoader::~PrefetchLoader() {
 void PrefetchLoader::worker() {
   for (std::size_t i = 0; i < plan_.size(); ++i) {
     // Collate outside the lock -- this is the overlapped work.  The arena
-    // pins each batch's tensors to this thread's pool: the main thread
-    // frees them mid-step and the blocks flow back here (the pool is
-    // mutex-guarded and outlives the thread via shared ownership), so the
-    // next epoch's loader re-serves them.
-    alloc::ArenaScope arena;
+    // pins each batch's tensors to a pool the main thread's frees flow
+    // back into (pools are mutex-guarded and outlive the thread via shared
+    // ownership): the consumer's own step pool when one was handed over --
+    // so collation re-serves the very blocks the trainer frees mid-step --
+    // else this thread's pool, recycled across the loader's own batches.
+    std::optional<alloc::ArenaScope> scope;
+    if (arena_) {
+      scope.emplace(arena_);
+    } else {
+      scope.emplace();
+    }
     data::Batch b = data::collate_indices(ds_, plan_[i]);
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return ready_.size() < depth_ || stop_; });

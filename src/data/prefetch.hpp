@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/alloc.hpp"
 #include "data/batch.hpp"
 
 namespace fastchg::data {
@@ -18,9 +19,14 @@ namespace fastchg::data {
 class PrefetchLoader {
  public:
   /// Collates `plan[i]` for i = 0..n-1 ahead of consumption, keeping at most
-  /// `depth` ready batches in flight.
+  /// `depth` ready batches in flight.  With `arena` set, batch tensors are
+  /// drawn from that allocator instead of the worker's thread-local pool --
+  /// the consumer hands its own step pool over so the blocks it frees
+  /// mid-step are the ones the loader re-serves, and the steady state stops
+  /// touching the system allocator entirely.
   PrefetchLoader(const data::Dataset& ds,
-                 std::vector<std::vector<index_t>> plan, std::size_t depth = 2);
+                 std::vector<std::vector<index_t>> plan, std::size_t depth = 2,
+                 alloc::AllocatorPtr arena = nullptr);
   ~PrefetchLoader();
   PrefetchLoader(const PrefetchLoader&) = delete;
   PrefetchLoader& operator=(const PrefetchLoader&) = delete;
@@ -37,6 +43,7 @@ class PrefetchLoader {
   const data::Dataset& ds_;
   std::vector<std::vector<index_t>> plan_;
   std::size_t depth_;
+  alloc::AllocatorPtr arena_;  ///< consumer's pool; nullptr = thread pool
 
   std::mutex mu_;
   std::condition_variable cv_;

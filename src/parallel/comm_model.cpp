@@ -11,10 +11,13 @@ double ring_allreduce_seconds(std::uint64_t bytes, int num_devices,
   FASTCHG_CHECK(num_devices >= 1, "ring_allreduce: devices");
   if (num_devices == 1) return 0.0;
   const double p = static_cast<double>(num_devices);
-  const double bw = num_devices <= cfg.gpus_per_node ? cfg.intra_node_bw
-                                                     : cfg.inter_node_bw;
+  const bool spans_nodes = num_devices > cfg.gpus_per_node;
+  const double bw = spans_nodes ? cfg.inter_node_bw : cfg.intra_node_bw;
+  // A flat ring spanning nodes pays the fat-tree alpha on every hop; this
+  // is exactly the term the two-level schedule avoids.
+  const double lat = spans_nodes ? cfg.inter_latency : cfg.latency;
   return 2.0 * (p - 1.0) / p * static_cast<double>(bytes) / bw +
-         2.0 * (p - 1.0) * cfg.latency;
+         2.0 * (p - 1.0) * lat;
 }
 
 AllReduceCost bucketed_allreduce_cost(std::uint64_t bytes, int num_devices,
@@ -31,16 +34,28 @@ AllReduceCost bucketed_allreduce_cost(std::uint64_t bytes, int num_devices,
   }
   if (!cfg.hierarchical) {
     cost.bandwidth_s = 2.0 * (p - 1.0) / p * n / cfg.inter_node_bw;
-    cost.latency_s = bkt * 2.0 * (p - 1.0) * cfg.latency;
+    cost.latency_s = bkt * 2.0 * (p - 1.0) * cfg.inter_latency;
     return cost;
   }
-  // Two-level: intra-node ring over G devices, then inter-node ring over
-  // the M = P/G node leaders (NCCL-style reduce + broadcast halves).
-  const double g = static_cast<double>(cfg.gpus_per_node);
-  const double m = p / g;
-  cost.bandwidth_s = 2.0 * (g - 1.0) / g * n / cfg.intra_node_bw +
-                     2.0 * (m - 1.0) / m * n / cfg.inter_node_bw;
-  cost.latency_s = bkt * 2.0 * ((g - 1.0) + (m - 1.0)) * cfg.latency;
+  // Two-level schedule, three phases (NCCL-style):
+  //   1. reduce-scatter within each node group of up to G devices
+  //   2. ring all-reduce of the node partials across the M group leaders
+  //   3. broadcast of the reduced result back within each node group
+  // M = ceil(P/G) so elastic (non-divisible) ring sizes are well-defined;
+  // the intra phases are paced by the largest group.
+  const double g =
+      static_cast<double>(std::min(num_devices, cfg.gpus_per_node));
+  const double m = static_cast<double>(
+      (num_devices + cfg.gpus_per_node - 1) / cfg.gpus_per_node);
+  const double rs_bw = (g - 1.0) / g * n / cfg.intra_node_bw;
+  const double rs_lat = bkt * (g - 1.0) * cfg.latency;
+  const double lr_bw = 2.0 * (m - 1.0) / m * n / cfg.inter_node_bw;
+  const double lr_lat = bkt * 2.0 * (m - 1.0) * cfg.inter_latency;
+  cost.reduce_scatter_s = rs_bw + rs_lat;
+  cost.leader_ring_s = lr_bw + lr_lat;
+  cost.broadcast_s = rs_bw + rs_lat;  // same traffic pattern in reverse
+  cost.bandwidth_s = 2.0 * rs_bw + lr_bw;
+  cost.latency_s = 2.0 * rs_lat + lr_lat;
   return cost;
 }
 

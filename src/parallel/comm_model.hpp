@@ -19,7 +19,8 @@ namespace fastchg::parallel {
 struct CommConfig {
   double intra_node_bw = 150e9;  ///< B/s effective all-reduce bandwidth (NVLink)
   double inter_node_bw = 18e9;   ///< B/s across the fat-tree
-  double latency = 15e-6;        ///< s per ring hop
+  double latency = 15e-6;        ///< s per intra-node ring hop (alpha_intra)
+  double inter_latency = 25e-6;  ///< s per fat-tree hop (alpha_inter)
   int gpus_per_node = 4;         ///< paper: 4 GPUs used per node
   double h2d_bw = 24e9;          ///< B/s PCIe host-to-device
   /// Gradient bucketing: the model's many small parameter tensors are
@@ -27,9 +28,14 @@ struct CommConfig {
   /// pays the full ring latency; only the bandwidth part can hide behind
   /// the backward pass.
   int buckets = 40;
-  /// Two-level all-reduce when the ring spans nodes: reduce within each
-  /// node over NVLink, then ring the node leaders over the fat-tree
-  /// (NCCL-style).  Cheaper than a flat inter-node ring.
+  /// Two-level all-reduce when the ring spans nodes: reduce-scatter within
+  /// each node over NVLink, ring the node leaders over the fat-tree, then
+  /// broadcast the result back intra-node (NCCL-style).  Cheaper than a
+  /// flat inter-node ring, whose every hop pays the fat-tree alpha.
+  ///
+  /// This switch selects the COST model and trace decomposition only: the
+  /// gradient averaging arithmetic is canonical (ascending device order)
+  /// in both modes, so hierarchical and flat runs are bit-identical.
   bool hierarchical = true;
 };
 
@@ -38,10 +44,16 @@ double ring_allreduce_seconds(std::uint64_t bytes, int num_devices,
                               const CommConfig& cfg = {});
 
 /// Bucketed all-reduce cost, split into the overlappable bandwidth part and
-/// the per-bucket latency part that stays exposed.
+/// the per-bucket latency part that stays exposed.  When the two-level
+/// schedule is active the three phase fields decompose the same total
+/// (reduce_scatter_s + leader_ring_s + broadcast_s == total()); they stay
+/// zero for flat or single-node rings.
 struct AllReduceCost {
   double bandwidth_s = 0.0;
   double latency_s = 0.0;
+  double reduce_scatter_s = 0.0;  ///< intra-node reduce-scatter phase
+  double leader_ring_s = 0.0;     ///< inter-node ring across group leaders
+  double broadcast_s = 0.0;       ///< intra-node broadcast of the result
   double total() const { return bandwidth_s + latency_s; }
 };
 AllReduceCost bucketed_allreduce_cost(std::uint64_t bytes, int num_devices,

@@ -57,6 +57,20 @@ float DataParallelTrainer::elastic_lr() const {
   return base * backoff_scale_;
 }
 
+double DataParallelTrainer::join_cost_seconds(
+    std::uint64_t state_bytes) const {
+  // Re-forming the enlarged ring costs the same barrier as a shrink, plus
+  // the full-state broadcast streamed lead -> joiner (params + both Adam
+  // moments + AtomRef), paid at the slower tier once the grown ring spans
+  // nodes: a joiner generally lands wherever the scheduler has capacity.
+  const int p = num_alive();
+  const bool spans = p > cfg_.comm.gpus_per_node;
+  const double bw = spans ? cfg_.comm.inter_node_bw : cfg_.comm.intra_node_bw;
+  const double lat = spans ? cfg_.comm.inter_latency : cfg_.comm.latency;
+  return 2.0 * (p - 1) * cfg_.comm.latency + lat +
+         static_cast<double>(state_bytes) / bw;
+}
+
 double DataParallelTrainer::recovery_cost_seconds() const {
   // Re-forming the ring costs a barrier over the survivors (NCCL-style
   // communicator re-init, charged as one latency per hop in each
@@ -159,6 +173,18 @@ EpochResult DataParallelTrainer::train_epoch(
   index_t iter = 0;       // epoch-local, monotone across re-sharding
   std::size_t pos = 0;    // iterations consumed from the current plan
   double pending_recovery_s = 0.0;
+  double pending_join_s = 0.0;
+  // Rows not yet consumed from the current plan — both elastic transitions
+  // (shrink and join) re-shard exactly this set over the new ring.
+  const auto collect_remaining = [&plan, &pos]() {
+    std::vector<index_t> remaining;
+    for (std::size_t i = pos; i < plan.iterations.size(); ++i) {
+      for (const auto& shard : plan.iterations[i]) {
+        remaining.insert(remaining.end(), shard.begin(), shard.end());
+      }
+    }
+    return remaining;
+  };
   while (pos < plan.iterations.size()) {
     // -- failures scheduled for this iteration: shrink the ring, re-shard
     //    the unconsumed rows, rescale the LR (Eq. 14 on the new global
@@ -178,12 +204,7 @@ EpochResult DataParallelTrainer::train_epoch(
       FASTCHG_CHECK(!alive_.empty(),
                     "DataParallelTrainer: every device failed at iteration "
                         << iter << " of epoch " << epoch);
-      std::vector<index_t> remaining;
-      for (std::size_t i = pos; i < plan.iterations.size(); ++i) {
-        for (const auto& shard : plan.iterations[i]) {
-          remaining.insert(remaining.end(), shard.begin(), shard.end());
-        }
-      }
+      const std::vector<index_t> remaining = collect_remaining();
       lr_ = elastic_lr();
       for (int d : alive_) {
         opts_[static_cast<std::size_t>(d)]->set_lr(lr_);
@@ -192,6 +213,48 @@ EpochResult DataParallelTrainer::train_epoch(
       pending_recovery_s += reform;
       result.recovery_seconds += reform;
       plan = make_plan(remaining);
+      pos = 0;
+      if (plan.iterations.empty()) break;  // too few rows left for a batch
+    }
+
+    // -- joins scheduled for this iteration: previously-failed devices
+    //    re-enter the ring.  The lead replica streams its full state to
+    //    each joiner through the fixed staging buffer (bit-identical
+    //    afterwards, asserted in tests), the unconsumed rows re-shard over
+    //    the enlarged ring, the LR rescales back up (inverse Eq. 14), and
+    //    the broadcast + ring re-form is charged to the next step.
+    std::vector<int> joined;
+    for (int d : inj.joins_at(iter)) {
+      if (d < 0 || d >= cfg_.num_devices) continue;
+      if (std::find(alive_.begin(), alive_.end(), d) == alive_.end() &&
+          std::find(joined.begin(), joined.end(), d) == joined.end()) {
+        joined.push_back(d);
+      }
+    }
+    if (!joined.empty()) {
+      const auto lead = static_cast<std::size_t>(alive_.front());
+      train::StateStreamer streamer;
+      std::uint64_t streamed = 0;
+      for (int d : joined) {
+        // Stream into the joiner's own pool: its replica tensors already
+        // live there, and the chunked copy allocates nothing model-sized.
+        alloc::ArenaScope arena(device_pools_[static_cast<std::size_t>(d)]);
+        streamed += train::broadcast_state(
+            *replicas_[lead], *opts_[lead],
+            *replicas_[static_cast<std::size_t>(d)],
+            *opts_[static_cast<std::size_t>(d)], streamer);
+        alive_.push_back(d);
+        result.joined_devices.push_back(d);
+      }
+      std::sort(alive_.begin(), alive_.end());
+      lr_ = elastic_lr();
+      for (int d : alive_) {
+        opts_[static_cast<std::size_t>(d)]->set_lr(lr_);
+      }
+      const double cost = join_cost_seconds(streamed);
+      pending_join_s += cost;
+      result.join_seconds += cost;
+      plan = make_plan(collect_remaining());
       pos = 0;
       if (plan.iterations.empty()) break;  // too few rows left for a batch
     }
@@ -294,8 +357,10 @@ EpochResult DataParallelTrainer::train_epoch(
         exposed_h2d_seconds(it.h2d_s, it.max_compute_s, cfg_.prefetch);
     it.recovery_s = pending_recovery_s;
     pending_recovery_s = 0.0;
+    it.join_s = pending_join_s;
+    pending_join_s = 0.0;
     it.step_s = it.max_compute_s + it.exposed_comm_s + it.exposed_h2d_s +
-                it.recovery_s;
+                it.recovery_s + it.join_s;
     // Per-device simulated-time lanes: each alive device's spans tile its
     // lane exactly — compute, then slack waiting for the straggler, then the
     // exposed comm/H2D and any recovery — so every lane advances by step_s
@@ -324,6 +389,10 @@ EpochResult DataParallelTrainer::train_epoch(
         }
         if (it.recovery_s > 0.0) {
           perf::trace_sim_span("recovery", "device", dev, t, it.recovery_s);
+          t += it.recovery_s;
+        }
+        if (it.join_s > 0.0) {
+          perf::trace_sim_span("join", "device", dev, t, it.join_s);
         }
       }
       sim_trace_cursor_s_ += it.step_s;
@@ -333,16 +402,24 @@ EpochResult DataParallelTrainer::train_epoch(
     ++iter;
     ++pos;
   }
-  // Recovery charged but never attached to a step (failure on the last
-  // iteration) still counts toward the epoch.
-  if (perf::trace_enabled() && pending_recovery_s > 0.0) {
+  // Recovery/join cost charged but never attached to a step (an elastic
+  // transition on the last iteration) still counts toward the epoch.
+  if (perf::trace_enabled() &&
+      (pending_recovery_s > 0.0 || pending_join_s > 0.0)) {
     for (int dev : alive_) {
-      perf::trace_sim_span("recovery", "device", dev, sim_trace_cursor_s_,
-                           pending_recovery_s);
+      double t = sim_trace_cursor_s_;
+      if (pending_recovery_s > 0.0) {
+        perf::trace_sim_span("recovery", "device", dev, t,
+                             pending_recovery_s);
+        t += pending_recovery_s;
+      }
+      if (pending_join_s > 0.0) {
+        perf::trace_sim_span("join", "device", dev, t, pending_join_s);
+      }
     }
-    sim_trace_cursor_s_ += pending_recovery_s;
+    sim_trace_cursor_s_ += pending_recovery_s + pending_join_s;
   }
-  result.simulated_seconds += pending_recovery_s;
+  result.simulated_seconds += pending_recovery_s + pending_join_s;
   result.mean_loss =
       loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
   result.measured_seconds = wall.seconds();

@@ -17,6 +17,13 @@
 //     the sampler, the LR is rescaled per Eq. 14 for the reduced global
 //     batch, and the ring re-form + parameter re-broadcast is charged to
 //     the step time;
+//   * on device join the ring grows back: the lead replica streams its full
+//     state (params + Adam moments + AtomRef) to the joiner through a
+//     fixed-size staging buffer (train::StateStreamer, so a join never
+//     spikes bytes_peak), the unconsumed rows are re-sharded across the
+//     enlarged ring, the LR rescales back up (inverse Eq. 14), and the
+//     broadcast + ring re-form is charged to the step time in its own
+//     `join` trace lane;
 //   * a non-finite loss/gradient guard skips the poisoned step (replicas
 //     skip together, preserving the DDP invariant) and backs off the LR;
 //   * a divergence watchdog re-broadcasts from the lead replica if the
@@ -70,6 +77,7 @@ struct IterationTiming {
   double h2d_s = 0.0;
   double exposed_h2d_s = 0.0;
   double recovery_s = 0.0;      ///< ring re-form + re-broadcast charged here
+  double join_s = 0.0;          ///< join re-form + state broadcast charged here
   double step_s = 0.0;          ///< simulated wall time of the step
   int num_alive = 0;            ///< ring size during this iteration
 };
@@ -81,8 +89,10 @@ struct EpochResult {
   std::vector<IterationTiming> iterations;
   index_t skipped_steps = 0;       ///< non-finite guard activations
   std::vector<int> failed_devices; ///< devices lost this epoch
+  std::vector<int> joined_devices; ///< devices that rejoined this epoch
   index_t rebroadcasts = 0;        ///< divergence-watchdog repairs
   double recovery_seconds = 0.0;   ///< total simulated recovery cost
+  double join_seconds = 0.0;       ///< total simulated join cost
 };
 
 class DataParallelTrainer {
@@ -92,8 +102,8 @@ class DataParallelTrainer {
                       std::uint64_t model_seed = 0);
 
   /// Train one epoch; `faults` (optional) injects failures / stragglers /
-  /// comm degradation at epoch-local iterations.  Devices that fail stay
-  /// dead for subsequent epochs.
+  /// comm degradation / joins at epoch-local iterations.  Devices that fail
+  /// stay dead for subsequent epochs unless a join event brings them back.
   EpochResult train_epoch(const data::Dataset& ds,
                           const std::vector<index_t>& rows, index_t epoch,
                           const FaultPlan* faults = nullptr);
@@ -147,6 +157,9 @@ class DataParallelTrainer {
   float elastic_lr() const;
   /// Simulated cost of shrinking the ring and re-syncing parameters.
   double recovery_cost_seconds() const;
+  /// Simulated cost of re-forming the enlarged ring plus streaming
+  /// `state_bytes` of full replica state lead -> joiner(s).
+  double join_cost_seconds(std::uint64_t state_bytes) const;
 
   DataParallelConfig cfg_;
   /// Simulated-clock cursor for the trace's per-device timeline lanes

@@ -95,6 +95,9 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     if (token.rfind("fail:", 0) == 0) {
       ev.kind = FaultKind::kDeviceFailure;
       body = token.substr(5);
+    } else if (token.rfind("join:", 0) == 0) {
+      ev.kind = FaultKind::kDeviceJoin;
+      body = token.substr(5);
     } else if (token.rfind("slow:", 0) == 0) {
       ev.kind = FaultKind::kStraggler;
       body = token.substr(5);
@@ -104,8 +107,8 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     } else {
       FASTCHG_CHECK(false, "fault plan: unknown event '"
                                << token
-                               << "' (expected fail:D@I, slow:D@I*F#N, or "
-                                  "comm@I*F#N)");
+                               << "' (expected fail:D@I, join:D@I, "
+                                  "slow:D@I*F#N, or comm@I*F#N)");
     }
     const auto at = body.find('@');
     FASTCHG_CHECK(at != std::string::npos,
@@ -118,7 +121,8 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       FASTCHG_CHECK(ev.device >= 0,
                     "fault plan: bad device in '" << token << "'");
     }
-    FASTCHG_CHECK(ev.kind == FaultKind::kDeviceFailure || ev.factor > 1.0,
+    FASTCHG_CHECK(ev.kind == FaultKind::kDeviceFailure ||
+                      ev.kind == FaultKind::kDeviceJoin || ev.factor > 1.0,
                   "fault plan: '" << token
                                   << "' needs a *factor > 1 to have any "
                                      "effect");
@@ -132,6 +136,17 @@ std::vector<int> FaultInjector::failures_at(index_t iter) const {
   if (!plan_) return out;
   for (const FaultEvent& ev : plan_->events) {
     if (ev.kind == FaultKind::kDeviceFailure && ev.iteration == iter) {
+      out.push_back(ev.device);
+    }
+  }
+  return out;
+}
+
+std::vector<int> FaultInjector::joins_at(index_t iter) const {
+  std::vector<int> out;
+  if (!plan_) return out;
+  for (const FaultEvent& ev : plan_->events) {
+    if (ev.kind == FaultKind::kDeviceJoin && ev.iteration == iter) {
       out.push_back(ev.device);
     }
   }

@@ -15,9 +15,16 @@
 //                        over devices, i.e. the step time, absorbs it).
 //   * kCommDegrade    -- all-reduce bandwidth is divided and ring latency
 //                        multiplied by `factor` for `duration` iterations.
+//   * kDeviceJoin     -- a previously-failed device rejoins the ring; the
+//                        trainer re-shards across the enlarged ring, streams
+//                        a full-state broadcast (params + Adam moments) from
+//                        the lead replica to the joiner, rescales the LR per
+//                        Eq. 14 for the grown global batch, and charges the
+//                        join cost to the step time.
 //
 // Iteration indices are epoch-local.  Events naming an already-dead device
-// are no-ops, so one plan can be replayed over multiple epochs.
+// (or joins naming an already-alive one) are no-ops, so one plan can be
+// replayed over multiple epochs.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +35,7 @@
 
 namespace fastchg::parallel {
 
-enum class FaultKind { kDeviceFailure, kStraggler, kCommDegrade };
+enum class FaultKind { kDeviceFailure, kStraggler, kCommDegrade, kDeviceJoin };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kDeviceFailure;
@@ -56,9 +63,11 @@ struct FaultPlan {
 
 /// Parse a CLI fault-plan spec: comma/semicolon-separated events of
 ///   fail:D@I          device D fails at iteration I
+///   join:D@I          device D rejoins the ring at iteration I
 ///   slow:D@I*F#N      device D runs F-times slower for N iterations from I
 ///   comm@I*F#N        comms degrade F-fold for N iterations from I
-/// e.g. "fail:3@1,slow:0@2*4#3,comm@5*2.5#2".  Throws on malformed specs.
+/// e.g. "fail:3@1,join:3@6,slow:0@2*4#3,comm@5*2.5#2".  Throws on
+/// malformed specs.
 FaultPlan parse_fault_plan(const std::string& spec);
 
 /// Stateless query view over a FaultPlan (nullptr plan = no faults).
@@ -68,6 +77,8 @@ class FaultInjector {
 
   /// Devices scheduled to fail exactly at `iter`.
   std::vector<int> failures_at(index_t iter) const;
+  /// Devices scheduled to (re)join the ring exactly at `iter`.
+  std::vector<int> joins_at(index_t iter) const;
   /// Transient-fault view used by the serving layer: a kDeviceFailure event
   /// with duration d at `iter` fails the first d attempts of request `iter`
   /// (the trainer instead treats failures as permanent ring departures).

@@ -136,16 +136,25 @@ std::vector<ScalingPoint> simulate(const CostModel& cost,
     const double straggler =
         1.0 + cfg.straggler_sigma *
                   std::sqrt(2.0 * std::log(static_cast<double>(p)));
-    double epoch = 0.0, comm_exposed_sum = 0.0;
+    // The comm cost depends only on (bytes, ring size), not the iteration.
+    const AllReduceCost comm = bucketed_allreduce_cost(model_bytes, p,
+                                                       cfg.comm);
+    double epoch = 0.0, comm_exposed_sum = 0.0, cov_sum = 0.0;
     for (const auto& shards : plan.iterations) {
-      double max_compute = 0.0;
+      double max_compute = 0.0, sum = 0.0, sumsq = 0.0;
       for (const auto& shard : shards) {
-        max_compute = std::max(
-            max_compute, cost.shard_seconds(ds, shard) * cfg.compute_scale);
+        const double c = cost.shard_seconds(ds, shard) * cfg.compute_scale;
+        max_compute = std::max(max_compute, c);
+        sum += c;
+        sumsq += c * c;
+      }
+      const double np = static_cast<double>(shards.size());
+      const double mean = sum / np;
+      if (mean > 0.0) {
+        const double var = std::max(0.0, sumsq / np - mean * mean);
+        cov_sum += std::sqrt(var) / mean;
       }
       max_compute *= straggler;
-      const AllReduceCost comm =
-          bucketed_allreduce_cost(model_bytes, p, cfg.comm);
       // Only the bandwidth part can hide behind the backward pass; the
       // per-bucket ring latency stays exposed.
       const double exposed =
@@ -162,6 +171,12 @@ std::vector<ScalingPoint> simulate(const CostModel& cost,
     pt.epoch_seconds = epoch;
     pt.iter_seconds = epoch / static_cast<double>(plan.num_iterations());
     pt.comm_fraction = comm_exposed_sum / std::max(epoch, 1e-30);
+    pt.load_cov = cov_sum / static_cast<double>(plan.num_iterations());
+    pt.comm_bandwidth_s = comm.bandwidth_s;
+    pt.comm_latency_s = comm.latency_s;
+    pt.reduce_scatter_s = comm.reduce_scatter_s;
+    pt.leader_ring_s = comm.leader_ring_s;
+    pt.broadcast_s = comm.broadcast_s;
     points.push_back(pt);
   }
   // Speedup/efficiency relative to the smallest device count (paper: 4).

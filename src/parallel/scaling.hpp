@@ -62,6 +62,17 @@ struct ScalingPoint {
   double comm_fraction = 0.0;     ///< exposed comm / step time
   double speedup = 1.0;           ///< vs the smallest device count
   double efficiency = 1.0;        ///< speedup / (P / P0)
+  /// Load-balance sampler quality: coefficient of variation (std/mean) of
+  /// per-device compute within an iteration, averaged over the epoch.  The
+  /// synchronized step pays the max, so CoV is the imbalance tax.
+  double load_cov = 0.0;
+  /// Per-iteration comm-model breakdown at this ring size (raw, pre-overlap).
+  double comm_bandwidth_s = 0.0;  ///< overlappable all-reduce bandwidth term
+  double comm_latency_s = 0.0;    ///< exposed per-bucket ring latency term
+  /// Two-level-schedule phase decomposition (zero for flat / single node).
+  double reduce_scatter_s = 0.0;
+  double leader_ring_s = 0.0;
+  double broadcast_s = 0.0;
 };
 
 /// Fixed global batch, devices swept (Fig. 10a).

@@ -317,6 +317,19 @@ std::vector<Result<Prediction>> ShardRouter::drain() {
     failover_backlog(victim);
   }
 
+  //    Watchdog escalations latched by the previous tick's health pass
+  //    close the loop here, through the same failover path a planned
+  //    fault takes -- while the shard is still routable, so any requests
+  //    queued on it since the escalation re-home to siblings instead of
+  //    faulting.
+  for (auto& s : shards_) {
+    if (s->auto_trip_pending() && s->routable()) {
+      perf::TraceSpan trip_span("serve.auto_trip", "serve");
+      ++stats_.auto_trips;
+      failover_backlog(*s);
+    }
+  }
+
   // 2. Drain every routable shard serially, measuring each shard's wall
   //    time.  Real shards run concurrently, so the tick's simulated
   //    latency is the max over shards (stragglers from the fault plan

@@ -79,6 +79,7 @@ struct RouterStats {
   std::uint64_t failovers = 0;        ///< backlog requests re-homed by trips
   std::uint64_t failover_dropped = 0; ///< backlog with no sibling capacity
   std::uint64_t trips = 0;            ///< shard fault trips
+  std::uint64_t auto_trips = 0;       ///< watchdog-escalated trips (subset)
   std::uint64_t restarts = 0;         ///< shard cold-cache restarts
   std::uint64_t ticks = 0;            ///< drain() calls
   double sim_backoff_ms = 0.0;        ///< accumulated reroute backoff
@@ -98,9 +99,10 @@ class ShardRouter {
   /// or the shard engine's own admission rejections.
   Result<std::size_t> submit(data::Crystal c, double deadline_ms = -1);
 
-  /// One router tick: inject scheduled shard faults, fail over tripped
-  /// shards' backlogs, drain every routable shard, advance each shard's
-  /// health machine, and return the tick's replies in submission order.
+  /// One router tick: inject scheduled shard faults, convert latched
+  /// watchdog auto-trips into fault trips, fail over tripped shards'
+  /// backlogs, drain every routable shard, advance each shard's health
+  /// machine, and return the tick's replies in submission order.
   std::vector<Result<Prediction>> drain();
 
   // -- Elastic scaling --------------------------------------------------

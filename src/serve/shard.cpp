@@ -32,6 +32,8 @@ std::vector<QueuedRequest> EngineShard::trip() {
   ++trips_;
   perf::count_event("serve.shard.trip");
   health_ = ShardHealth::kDraining;
+  auto_trip_pending_ = false;  // the trip consumes any pending escalation
+  burst_streak_ = 0;
   return engine_->take_queue();
 }
 
@@ -73,13 +75,29 @@ bool EngineShard::tick() {
   // Watchdog over the live engine's own counters: a burst of numeric
   // faults within one tick flags the shard degraded (it keeps serving --
   // degraded is routable -- but operators and the router stats see it).
+  // A burst sustained for trip_burst_ticks consecutive ticks escalates:
+  // the shard latches auto_trip_pending() and the router trips it into
+  // the ordinary kDraining -> kDead -> restart failover on this same
+  // tick, instead of letting it fault every request it is handed.
   if (cfg_.degrade_fault_threshold > 0 &&
-      health_ == ShardHealth::kHealthy) {
+      (health_ == ShardHealth::kHealthy ||
+       health_ == ShardHealth::kDegraded)) {
     const std::uint64_t now = engine_->stats().numeric_faults;
     if (now - last_numeric_faults_ >= cfg_.degrade_fault_threshold) {
-      health_ = ShardHealth::kDegraded;
-      degraded_ticks_left_ = cfg_.rejoin_ticks;
-      perf::count_event("serve.shard.degraded");
+      if (health_ == ShardHealth::kHealthy) {
+        health_ = ShardHealth::kDegraded;
+        degraded_ticks_left_ = cfg_.rejoin_ticks;
+        perf::count_event("serve.shard.degraded");
+      }
+      ++burst_streak_;
+      if (cfg_.trip_burst_ticks > 0 &&
+          burst_streak_ >= cfg_.trip_burst_ticks && !auto_trip_pending_) {
+        auto_trip_pending_ = true;
+        ++auto_trips_;
+        perf::count_event("serve.shard.auto_trip");
+      }
+    } else {
+      burst_streak_ = 0;
     }
     last_numeric_faults_ = now;
   }

@@ -19,6 +19,11 @@
 //        +-------------------------------------------------------------+
 //                              rejoin ticks elapse
 //
+// The watchdog escalates: one burst tick degrades, a burst *sustained* for
+// trip_burst_ticks consecutive ticks latches an auto-trip that the router
+// converts into the same kDraining path a planned fault takes -- the
+// closed loop from fault detection back into the failover machinery.
+//
 // kHealthy and kDegraded are routable; kDraining and kDead are not.  A trip
 // surrenders the engine's queued backlog (InferenceEngine::take_queue) so
 // the router can fail it over, then the shard sits dead for `restart_ticks`
@@ -61,6 +66,14 @@ struct ShardConfig {
   /// Watchdog: numeric faults observed in one tick at or above this mark
   /// the shard kDegraded for `rejoin_ticks` (0 disables the watchdog).
   std::uint64_t degrade_fault_threshold = 0;
+  /// Closed-loop trip: after this many *consecutive* watchdog-burst ticks
+  /// (each at or above degrade_fault_threshold) the shard latches
+  /// auto_trip_pending(); the router converts that into an ordinary fault
+  /// trip -- kDraining -> kDead -> restart -> cold-cache rejoin -- on the
+  /// same tick, so a persistently faulting shard takes itself out of
+  /// rotation instead of degrading forever.  0 disables (degrade-only);
+  /// needs degrade_fault_threshold > 0 to ever fire.
+  int trip_burst_ticks = 0;
   /// Watermark pool trim between ticks: keep slabs within the tick's live
   /// high water plus this slack (docs/memory.md).  SIZE_MAX disables.
   std::size_t pool_trim_slack = std::size_t{1} << 20;
@@ -106,6 +119,11 @@ class EngineShard {
 
   std::uint64_t restarts() const { return restarts_; }
   std::uint64_t trips() const { return trips_; }
+  /// Watchdog escalations: bursts sustained for trip_burst_ticks.  The
+  /// flag latches until the next trip() (normally the router's, on the
+  /// tick that raised it); the counter is a lifetime tally.
+  bool auto_trip_pending() const { return auto_trip_pending_; }
+  std::uint64_t auto_trips() const { return auto_trips_; }
   const alloc::PoolAllocator& pool() const { return *pool_; }
 
  private:
@@ -126,6 +144,9 @@ class EngineShard {
   EngineStats retired_stats_;
   CacheStats retired_cache_;
   std::uint64_t last_numeric_faults_ = 0;
+  int burst_streak_ = 0;  ///< consecutive watchdog-burst ticks
+  bool auto_trip_pending_ = false;
+  std::uint64_t auto_trips_ = 0;
 };
 
 }  // namespace fastchg::serve

@@ -63,8 +63,12 @@ EpochStats Trainer::train_epoch(const data::Dataset& ds,
         std::min(order.size(), lo + static_cast<std::size_t>(cfg_.batch_size));
     plan.emplace_back(order.begin() + lo, order.begin() + hi);
   }
+  // The loader collates into the trainer's own step pool (pool-aware
+  // handoff): batch blocks freed mid-step recycle straight back to the
+  // collation of step N+1, so a steady-state step allocates nothing from
+  // the system allocator even with prefetch on.
   std::optional<data::PrefetchLoader> loader;
-  if (cfg_.prefetch) loader.emplace(ds, plan, /*depth=*/2);
+  if (cfg_.prefetch) loader.emplace(ds, plan, /*depth=*/2, step_pool_);
 
   const std::vector<ag::Var> params = net_.parameters();
   index_t micro = 0;

@@ -5,6 +5,8 @@
 // validation on load.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -62,7 +64,11 @@ std::vector<float> flat_params(const model::CHGNet& net) {
 }
 
 std::string temp_path(const char* name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Pid-unique: ctest runs each test as its own process, possibly in
+  // parallel, and fixtures sharing a literal /tmp name would race.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(::getpid()) + "_" + name))
+      .string();
 }
 
 /// Copy of `ds`'s crystals with `poison` applied to row `row`, re-built
@@ -452,6 +458,194 @@ TEST(Elastic, ResumeRejectsDeviceCountMismatch) {
   parallel::DataParallelTrainer wrong(tiny_cfg(), other, 5);
   EXPECT_THROW(wrong.resume(path), Error);
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// elastic join
+// ---------------------------------------------------------------------------
+
+TEST(ElasticJoin, FailedDeviceRejoinsBitIdenticalToLead) {
+  // Acceptance: `fail:2@5,join:2@9` on 8 devices -- the ring shrinks to 7,
+  // then device 2 re-enters at iteration 9: the lead streams its full state
+  // (params + both Adam moments + AtomRef) through the fixed staging
+  // buffer, the unconsumed rows re-shard over 8 again, and the LR rescales
+  // back up to the full-batch Eq. 14 value.
+  data::Dataset ds = small_dataset(192, 91);
+  auto rows = all_rows(ds);
+  parallel::DataParallelConfig pc;
+  pc.num_devices = 8;
+  pc.global_batch = 16;  // per-device 2; 12 iterations when nothing fails
+  pc.scale_lr = true;
+  parallel::DataParallelTrainer dp(tiny_cfg(), pc, 6);
+
+  const auto plan = parallel::parse_fault_plan("fail:2@5,join:2@9");
+  const auto result = dp.train_epoch(ds, rows, 0, &plan);
+
+  EXPECT_EQ(result.failed_devices, std::vector<int>{2});
+  EXPECT_EQ(result.joined_devices, std::vector<int>{2});
+  EXPECT_EQ(dp.num_alive(), 8);
+  EXPECT_GT(result.recovery_seconds, 0.0);
+  EXPECT_GT(result.join_seconds, 0.0);
+
+  // 5 iterations on 8 devices (80 rows), 4 on 7 (batch 14, 56 rows), and
+  // the 56 left re-shard into 3 full batches of 16 on the regrown ring.
+  ASSERT_EQ(result.iterations.size(), 12u);
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const int expect_alive = i < 5 ? 8 : (i < 9 ? 7 : 8);
+    EXPECT_EQ(result.iterations[i].num_alive, expect_alive) << "iter " << i;
+  }
+
+  EXPECT_EQ(flat_params(dp.replica(2)), flat_params(dp.master()));
+  EXPECT_EQ(dp.replica_divergence(), 0.0f);
+  EXPECT_FLOAT_EQ(dp.effective_lr(),
+                  train::scaled_init_lr(16, pc.lr_k, pc.base_lr));
+
+  // The joiner must have received the optimizer state too, not just the
+  // weights: a second epoch only stays in lockstep (no watchdog repairs,
+  // zero divergence) if the streamed Adam moments matched bit-for-bit.
+  const auto next = dp.train_epoch(ds, rows, 1);
+  EXPECT_TRUE(std::isfinite(next.mean_loss));
+  EXPECT_EQ(next.rebroadcasts, 0);
+  EXPECT_EQ(dp.replica_divergence(), 0.0f);
+
+  // Convergence: over the same two epochs the elastic run's validation
+  // error stays within sight of a fault-free twin (both deterministic, so
+  // the loose bound is stable).
+  parallel::DataParallelTrainer clean(tiny_cfg(), pc, 6);
+  for (index_t e = 0; e < 2; ++e) clean.train_epoch(ds, rows, e);
+  const auto mae_elastic = train::evaluate_model(dp.master(), ds, rows, 16);
+  const auto mae_clean = train::evaluate_model(clean.master(), ds, rows, 16);
+  EXPECT_TRUE(std::isfinite(mae_elastic.energy_mae_mev_atom));
+  EXPECT_LT(mae_elastic.energy_mae_mev_atom,
+            2.0 * mae_clean.energy_mae_mev_atom + 50.0);
+}
+
+TEST(ElasticJoin, EpochLedgerAttributesJoinCostToTheJoinIteration) {
+  // The one-off elastic costs must land exactly on the iteration whose
+  // step they delayed, and the per-iteration ledger must sum back to the
+  // epoch totals -- same accumulation order, so equality is exact.
+  data::Dataset ds = small_dataset(96, 93);
+  auto rows = all_rows(ds);
+  parallel::DataParallelConfig pc;
+  pc.num_devices = 4;
+  pc.global_batch = 8;  // per-device 2
+  parallel::DataParallelTrainer dp(tiny_cfg(), pc, 7);
+  const auto plan = parallel::parse_fault_plan("fail:1@3,join:1@7");
+  const auto result = dp.train_epoch(ds, rows, 0, &plan);
+
+  // 3 iterations on 4 devices, 4 on 3 (batch 6), then 6 on 4 again.
+  ASSERT_EQ(result.iterations.size(), 13u);
+  double join_sum = 0.0, recovery_sum = 0.0, step_sum = 0.0;
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& it = result.iterations[i];
+    join_sum += it.join_s;
+    recovery_sum += it.recovery_s;
+    step_sum += it.step_s;
+    EXPECT_DOUBLE_EQ(it.step_s, it.max_compute_s + it.exposed_comm_s +
+                                    it.exposed_h2d_s + it.recovery_s +
+                                    it.join_s)
+        << "iter " << i;
+    EXPECT_EQ(it.recovery_s > 0.0, i == 3) << "iter " << i;
+    EXPECT_EQ(it.join_s > 0.0, i == 7) << "iter " << i;
+  }
+  EXPECT_DOUBLE_EQ(join_sum, result.join_seconds);
+  EXPECT_DOUBLE_EQ(recovery_sum, result.recovery_seconds);
+  EXPECT_DOUBLE_EQ(step_sum, result.simulated_seconds);
+}
+
+TEST(ElasticJoin, ShrinkJoinShrinkChurnStaysConvergent) {
+  // A device drops, rejoins, and a different one drops, all inside one
+  // epoch; a second clean epoch then runs on the final 3-device ring.  The
+  // run must stay in lockstep throughout and end within sight of a
+  // fault-free twin's validation error (deterministic, so the loose bound
+  // is stable).
+  data::Dataset ds = small_dataset(96, 95);
+  auto rows = all_rows(ds);
+  parallel::DataParallelConfig pc;
+  pc.num_devices = 4;
+  pc.global_batch = 8;
+  pc.scale_lr = true;
+  parallel::DataParallelTrainer churn(tiny_cfg(), pc, 9);
+  const auto plan = parallel::parse_fault_plan("fail:1@2,join:1@5,fail:3@8");
+  const auto result = churn.train_epoch(ds, rows, 0, &plan);
+
+  EXPECT_EQ(result.failed_devices, (std::vector<int>{1, 3}));
+  EXPECT_EQ(result.joined_devices, std::vector<int>{1});
+  EXPECT_EQ(churn.num_alive(), 3);
+  EXPECT_EQ(churn.alive_devices(), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(std::isfinite(result.mean_loss));
+  EXPECT_EQ(churn.replica_divergence(), 0.0f);
+  EXPECT_FLOAT_EQ(churn.effective_lr(),
+                  train::scaled_init_lr(6, pc.lr_k, pc.base_lr));
+
+  const auto second = churn.train_epoch(ds, rows, 1);
+  EXPECT_TRUE(std::isfinite(second.mean_loss));
+  EXPECT_EQ(churn.replica_divergence(), 0.0f);
+  for (int d : churn.alive_devices()) {
+    for (float w : flat_params(churn.replica(d))) ASSERT_TRUE(std::isfinite(w));
+  }
+
+  parallel::DataParallelTrainer clean(tiny_cfg(), pc, 9);
+  for (index_t e = 0; e < 2; ++e) clean.train_epoch(ds, rows, e);
+  const auto mae_churn = train::evaluate_model(churn.master(), ds, rows, 8);
+  const auto mae_clean = train::evaluate_model(clean.master(), ds, rows, 8);
+  EXPECT_TRUE(std::isfinite(mae_churn.energy_mae_mev_atom));
+  EXPECT_LT(mae_churn.energy_mae_mev_atom,
+            3.0 * mae_clean.energy_mae_mev_atom + 100.0);
+}
+
+TEST(ElasticJoin, NoOpJoinsPerturbNothing) {
+  // Joins for an already-alive device and for an out-of-range id are
+  // skipped entirely; the run is bit-identical to a fault-free one (the
+  // no-fault invariant the PR promises).
+  data::Dataset ds = small_dataset(32, 97);
+  auto rows = all_rows(ds);
+  parallel::DataParallelConfig pc;
+  pc.num_devices = 4;
+  pc.global_batch = 8;
+  parallel::DataParallelTrainer noop(tiny_cfg(), pc, 13);
+  const auto plan = parallel::parse_fault_plan("join:0@1,join:9@2");
+  const auto result = noop.train_epoch(ds, rows, 0, &plan);
+  EXPECT_TRUE(result.joined_devices.empty());
+  EXPECT_EQ(result.join_seconds, 0.0);
+  ASSERT_EQ(result.iterations.size(), 4u);
+  for (const auto& it : result.iterations) EXPECT_EQ(it.join_s, 0.0);
+
+  parallel::DataParallelTrainer clean(tiny_cfg(), pc, 13);
+  clean.train_epoch(ds, rows, 0);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(flat_params(noop.replica(d)), flat_params(clean.replica(d)))
+        << "device " << d;
+  }
+}
+
+TEST(ElasticJoin, HierarchicalCommIsBitIdenticalToFlat) {
+  // The two-level all-reduce only re-prices communication; the gradient
+  // arithmetic runs in the same canonical order either way, so an elastic
+  // epoch (shrink + rejoin on a ring spanning the node boundary) produces
+  // bit-identical weights under both comm models.
+  data::Dataset ds = small_dataset(64, 99);
+  auto rows = all_rows(ds);
+  parallel::DataParallelConfig pc;
+  pc.num_devices = 8;
+  pc.global_batch = 16;
+  const auto plan = parallel::parse_fault_plan("fail:2@1,join:2@3");
+
+  pc.comm.hierarchical = true;
+  parallel::DataParallelTrainer hier(tiny_cfg(), pc, 15);
+  const auto hier_res = hier.train_epoch(ds, rows, 0, &plan);
+
+  pc.comm.hierarchical = false;
+  parallel::DataParallelTrainer flat(tiny_cfg(), pc, 15);
+  const auto flat_res = flat.train_epoch(ds, rows, 0, &plan);
+
+  EXPECT_EQ(hier_res.joined_devices, std::vector<int>{2});
+  EXPECT_EQ(flat_res.joined_devices, std::vector<int>{2});
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_EQ(flat_params(hier.replica(d)), flat_params(flat.replica(d)))
+        << "device " << d;
+  }
+  EXPECT_EQ(hier.replica_divergence(), 0.0f);
 }
 
 // ---------------------------------------------------------------------------

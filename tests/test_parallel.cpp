@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -476,6 +477,45 @@ TEST(DataParallel, TraceLedgerHoldsForSurvivorsAfterFailure) {
   }
   EXPECT_EQ(res.failed_devices, std::vector<int>{2});
   EXPECT_GT(res.recovery_seconds, 0.0);
+}
+
+TEST(DataParallel, TraceLedgerCoversARejoinedDevice) {
+  data::Dataset ds = medium_dataset(32, 7);
+  auto rows = all_rows(ds);
+  DataParallelConfig cfg;
+  cfg.num_devices = 4;
+  cfg.global_batch = 8;
+  DataParallelTrainer dp(tiny_fast_config(), cfg, 11);
+  const FaultPlan plan = parse_fault_plan("fail:2@1,join:2@3");
+  perf::trace_enable();
+  EpochResult res = dp.train_epoch(ds, rows, 0, &plan);
+  const auto totals = sim_lane_totals();
+  bool saw_join_span = false;
+  for (const perf::TraceEvent& e : perf::trace_events()) {
+    if (e.clock == perf::TraceClock::kSim &&
+        std::strcmp(e.name, "join") == 0) {
+      saw_join_span = true;
+    }
+  }
+  perf::Trace::instance().shutdown();
+  // 1 iteration on 4 devices, 2 on 3 (batch 6), then 1 on 4 again.
+  ASSERT_EQ(res.iterations.size(), 4u);
+  EXPECT_EQ(res.joined_devices, std::vector<int>{2});
+  EXPECT_GT(res.join_seconds, 0.0);
+  EXPECT_TRUE(saw_join_span);  // the "join" lane segment was emitted
+  ASSERT_EQ(totals.size(), 4u);
+  const double tol = 1e-6 * (1.0 + res.simulated_seconds);
+  // Device 2 sat out iterations 1-2: its lane covers exactly the steps it
+  // was in the ring for (the join charge rides iteration 3, which it is
+  // back for); every other lane tiles the whole epoch.
+  for (const auto& [dev, total] : totals) {
+    if (dev == 2) {
+      EXPECT_NEAR(total, res.iterations[0].step_s + res.iterations[3].step_s,
+                  tol);
+    } else {
+      EXPECT_NEAR(total, res.simulated_seconds, tol) << "device " << dev;
+    }
+  }
 }
 
 }  // namespace

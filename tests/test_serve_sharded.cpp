@@ -313,6 +313,108 @@ TEST(ShardFailover, WatchdogDegradesOnNumericFaultBurst) {
   EXPECT_EQ(router.shard(0).health(), ShardHealth::kHealthy);
 }
 
+// The closed loop: a numeric-fault burst *sustained* for trip_burst_ticks
+// consecutive ticks escalates from degrade to an automatic fault trip.  The
+// backlog queued on the sick shard re-homes to a sibling with a
+// bit-identical (flagged rerouted) reply, the shard walks the ordinary
+// kDraining -> kDead -> restart machinery, and rejoins healthy.
+TEST(ShardFailover, SustainedBurstAutoTripsIntoFailover) {
+  model::CHGNet net(tiny_config(), 17);
+  RouterConfig rc = base_config(2);
+  rc.shard.degrade_fault_threshold = 1;
+  rc.shard.trip_burst_ticks = 2;
+  rc.shard.restart_ticks = 1;
+  rc.shard.rejoin_ticks = 1;
+  auto poison = std::make_shared<bool>(false);
+  rc.shard.engine.corrupt_batch =
+      [poison](data::Batch& b, const std::vector<std::size_t>&) {
+        if (!*poison) return;
+        float* cart = b.cart.data();
+        for (index_t a = 0; a < b.num_atoms; ++a) {
+          for (int d = 0; d < 3; ++d) {
+            cart[a * 3 + d] = std::numeric_limits<float>::quiet_NaN();
+          }
+        }
+      };
+  ShardRouter router(net, rc);
+
+  // Three distinct structures whose affinity is the shard we poison; the
+  // sibling shard serves nothing while poisoned, so its watchdog stays
+  // quiet and only shard 0 escalates.
+  const std::uint64_t probe = seed_with_affinity(router, 0, 6000);
+  const std::uint64_t burst1 = seed_with_affinity(router, 0, probe + 1);
+  const std::uint64_t burst2 = seed_with_affinity(router, 0, burst1 + 1);
+
+  // Clean reference reply for the probe structure, served on-affinity.
+  ASSERT_TRUE(router.submit(seeded_crystal(probe)).ok());
+  auto replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok());
+  ASSERT_EQ(replies[0].value().shard, 0);
+  const Prediction reference = replies[0].value();
+
+  // Burst tick 1: degrade (still routable, no escalation yet).
+  *poison = true;
+  ASSERT_TRUE(router.submit(seeded_crystal(burst1)).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].code(), ErrorCode::kNumericFault);
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDegraded);
+  EXPECT_FALSE(router.shard(0).auto_trip_pending());
+
+  // Burst tick 2: the sustained burst latches the auto-trip.  The shard is
+  // still routable -- the router converts the escalation into a trip at
+  // the top of the *next* tick, so work queued meanwhile can re-home.
+  ASSERT_TRUE(router.submit(seeded_crystal(burst2)).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].code(), ErrorCode::kNumericFault);
+  EXPECT_TRUE(router.shard(0).auto_trip_pending());
+  EXPECT_EQ(router.shard(0).auto_trips(), 1u);
+  EXPECT_TRUE(router.shard(0).routable());
+
+  // The probe request queues on the sick shard; the auto-trip fails it
+  // over to shard 1, whose deterministic forward reproduces the reference
+  // reply bit-for-bit.
+  *poison = false;
+  ASSERT_TRUE(router.submit(seeded_crystal(probe)).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok()) << replies[0].error().message;
+  EXPECT_EQ(replies[0].value().shard, 1);
+  EXPECT_TRUE(replies[0].value().rerouted);
+  expect_bitwise(replies[0].value(), reference, "auto-trip failover");
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDead);
+  EXPECT_EQ(router.shard(0).trips(), 1u);
+  EXPECT_EQ(router.stats().auto_trips, 1u);
+  EXPECT_EQ(router.stats().trips, 1u);
+  EXPECT_EQ(router.stats().failovers, 1u);
+  EXPECT_FALSE(router.shard(0).auto_trip_pending()) << "trip must clear it";
+
+  // Restart countdown -> cold-cache rejoin -> healthy, as for any trip.
+  (void)router.drain();
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kDegraded);
+  EXPECT_EQ(router.shard(0).restarts(), 1u);
+  EXPECT_EQ(router.shard(0).engine().cache().size(), 0u) << "cache not cold";
+  (void)router.drain();
+  EXPECT_EQ(router.shard(0).health(), ShardHealth::kHealthy);
+
+  // Back on-affinity, recomputing (the replay tier died with the trip),
+  // still bit-identical.
+  ASSERT_TRUE(router.submit(seeded_crystal(probe)).ok());
+  replies = router.drain();
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].ok());
+  EXPECT_EQ(replies[0].value().shard, 0);
+  EXPECT_FALSE(replies[0].value().rerouted);
+  EXPECT_FALSE(replies[0].value().cached);
+  expect_bitwise(replies[0].value(), reference, "post-rejoin recompute");
+
+  // Counter reconciliation survives the escalation + restart.
+  const CacheStats cache = router.fleet_cache_stats();
+  EXPECT_EQ(cache.lookups, cache.hits + cache.misses);
+}
+
 // ----------------------------------------------------------- determinism --
 
 struct BatteryRecord {

@@ -178,11 +178,23 @@ int cmd_dp(const std::map<std::string, std::string>& flags) {
   pc.num_devices = static_cast<int>(flag_i(flags, "devices", 4));
   pc.global_batch = flag_i(flags, "batch", 8 * pc.num_devices);
   pc.seed = seed;
+  if (auto it = flags.find("comm"); it != flags.end()) {
+    if (it->second == "flat") {
+      pc.comm.hierarchical = false;
+    } else if (it->second == "hier") {
+      pc.comm.hierarchical = true;
+    } else {
+      std::fprintf(stderr, "--comm must be 'flat' or 'hier', got '%s'\n",
+                   it->second.c_str());
+      return 2;
+    }
+  }
   parallel::DataParallelTrainer dp(cli_model_config(flags), pc, seed);
   std::printf("data-parallel training on %d virtual devices, "
-              "global batch %lld, LR %.2e\n",
+              "global batch %lld, LR %.2e, %s all-reduce\n",
               dp.num_devices(), static_cast<long long>(pc.global_batch),
-              dp.effective_lr());
+              dp.effective_lr(),
+              pc.comm.hierarchical ? "hierarchical" : "flat");
 
   parallel::FaultPlan plan;
   if (auto it = flags.find("fault-plan"); it != flags.end()) {
@@ -215,6 +227,12 @@ int cmd_dp(const std::map<std::string, std::string>& flags) {
       std::printf("  recovery %.2fs  new LR %.2e", r.recovery_seconds,
                   dp.effective_lr());
     }
+    if (!r.joined_devices.empty()) {
+      std::printf("  joined:");
+      for (int d : r.joined_devices) std::printf(" %d", d);
+      std::printf("  join %.2fs  new LR %.2e", r.join_seconds,
+                  dp.effective_lr());
+    }
     if (r.skipped_steps > 0) {
       std::printf("  skipped %lld", static_cast<long long>(r.skipped_steps));
     }
@@ -224,11 +242,17 @@ int cmd_dp(const std::map<std::string, std::string>& flags) {
       std::printf("  checkpoint -> %s\n", ckpt_path.c_str());
     }
   }
+  const float divergence = dp.replica_divergence();
   std::printf("replica divergence: %.3g (0 = DDP invariant holds)\n",
-              static_cast<double>(dp.replica_divergence()));
+              static_cast<double>(divergence));
   if (!ckpt_path.empty()) {
     dp.save_checkpoint(ckpt_path, epochs);
     std::printf("checkpoint -> %s\n", ckpt_path.c_str());
+  }
+  // Non-zero exit so CI fault-plan runs actually guard the invariant.
+  if (divergence != 0.0f) {
+    std::fprintf(stderr, "DDP invariant violated: replicas diverged\n");
+    return 1;
   }
   return 0;
 }
@@ -614,7 +638,8 @@ int usage() {
       "  generate --n N --seed S       dataset statistics\n"
       "  train --n N --epochs E [--reference] [--save PATH]\n"
       "        [--checkpoint PATH --checkpoint-every K] [--resume PATH]\n"
-      "  dp --devices D --epochs E [--fault-plan \"fail:3@2,slow:1@0*4#2\"]\n"
+      "  dp --devices D --epochs E [--fault-plan \"fail:3@2,join:3@6\"]\n"
+      "        [--comm flat|hier] (all-reduce cost model, default hier)\n"
       "        [--checkpoint PATH --checkpoint-every K] [--resume PATH]\n"
       "  md --crystal NAME --steps N [--nvt --temperature T]\n"
       "  relax --seed S --steps N\n"

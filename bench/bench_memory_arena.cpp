@@ -159,7 +159,10 @@ PhaseCounts measure_serve(bool pooled, const BenchOptions& opt) {
     }
   };
 
-  tick();  // warm-up: builds graphs, primes the worker pool
+  // Warm-up: builds graphs, primes the worker pool, and walks the replay
+  // cache past its sighting + capture ticks (the capture allocates the
+  // program slab; steady state must measure pure pool recycling).
+  for (int i = 0; i < 3; ++i) tick();
 
   const std::uint64_t mb_before = engine.stats().micro_batches;
   bench::reset_counters();
@@ -210,7 +213,9 @@ PhaseCounts measure_serve_int8(bool pooled, const BenchOptions& opt) {
                   "bench_memory_arena: unexpected shard restart");
   };
 
-  tick();  // warm-up: graphs, replica pool, quantized weights
+  // Warm-up: graphs, replica pool, quantized weights, and the replay
+  // cache's sighting + capture ticks (see measure_serve).
+  for (int i = 0; i < 3; ++i) tick();
 
   const std::uint64_t mb_before = shard.engine().stats().micro_batches;
   bench::reset_counters();

@@ -6,7 +6,15 @@
 #include <utility>
 
 #include "core/parallel_for.hpp"
+#include "core/replay.hpp"
 #include "perf/counters.hpp"
+
+// Replay capture (core/replay.hpp): every kernel here factors its arithmetic
+// into a loop helper shared verbatim between the eager call and the closure
+// it pushes onto an active Recorder, so a replayed step runs byte-for-byte
+// the same loops over slot-resolved pointers.  Pure aliases (reshape,
+// same-shape broadcast/sum_to, single-input cat) share storage and need no
+// step of their own.
 
 namespace fastchg::ag::ops {
 
@@ -72,17 +80,12 @@ BPat classify(const Tensor& a, const Tensor& b, Shape& out_shape) {
                                                 << shape_str(b.shape()));
 }
 
+/// The arithmetic of every binary op, shared by the eager call and the
+/// replay closure (identical instruction streams => bit-identical results).
+/// rows/cols are only read for the 2-D row/col broadcast patterns.
 template <class F>
-Tensor binary_kernel(const char* name, const Tensor& a, const Tensor& b,
-                     F f) {
-  perf::count_kernel(name);
-  Shape out_shape;
-  const BPat pat = classify(a, b, out_shape);
-  Tensor out = Tensor::empty(out_shape);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const index_t n = out.numel();
+void binary_loop(BPat pat, index_t rows, index_t cols, index_t n,
+                 const float* pa, const float* pb, float* po, F f) {
   switch (pat) {
     case BPat::kSame:
       for (index_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
@@ -97,50 +100,75 @@ Tensor binary_kernel(const char* name, const Tensor& a, const Tensor& b,
       for (index_t i = 0; i < n; ++i) po[i] = f(pa[i], bv);
       break;
     }
-    case BPat::kARow: {
-      const index_t rows = out_shape[0], cols = out_shape[1];
+    case BPat::kARow:
       for (index_t r = 0; r < rows; ++r)
         for (index_t c = 0; c < cols; ++c)
           po[r * cols + c] = f(pa[c], pb[r * cols + c]);
       break;
-    }
-    case BPat::kBRow: {
-      const index_t rows = out_shape[0], cols = out_shape[1];
+    case BPat::kBRow:
       for (index_t r = 0; r < rows; ++r)
         for (index_t c = 0; c < cols; ++c)
           po[r * cols + c] = f(pa[r * cols + c], pb[c]);
       break;
-    }
-    case BPat::kACol: {
-      const index_t rows = out_shape[0], cols = out_shape[1];
+    case BPat::kACol:
       for (index_t r = 0; r < rows; ++r) {
         const float av = pa[r];
         for (index_t c = 0; c < cols; ++c)
           po[r * cols + c] = f(av, pb[r * cols + c]);
       }
       break;
-    }
-    case BPat::kBCol: {
-      const index_t rows = out_shape[0], cols = out_shape[1];
+    case BPat::kBCol:
       for (index_t r = 0; r < rows; ++r) {
         const float bv = pb[r];
         for (index_t c = 0; c < cols; ++c)
           po[r * cols + c] = f(pa[r * cols + c], bv);
       }
       break;
-    }
+  }
+}
+
+template <class F>
+Tensor binary_kernel(const char* name, const Tensor& a, const Tensor& b,
+                     F f) {
+  perf::count_kernel(name);
+  Shape out_shape;
+  const BPat pat = classify(a, b, out_shape);
+  Tensor out = Tensor::empty(out_shape);
+  const index_t rows = out_shape.size() == 2 ? out_shape[0] : 0;
+  const index_t cols = out_shape.size() == 2 ? out_shape[1] : 0;
+  const index_t n = out.numel();
+  binary_loop(pat, rows, cols, n, a.data(), b.data(), out.data(), f);
+  if (auto* rec = replay::Recorder::active()) {
+    const int sa = rec->note_input(a);
+    const int sb = rec->note_input(b);
+    const int so = rec->note_output(out);
+    rec->push(name, /*counted=*/true, {sa, sb}, so,
+              [pat, rows, cols, n, sa, sb, so, f](float* const* S) {
+                binary_loop(pat, rows, cols, n, S[sa], S[sb], S[so], f);
+              });
   }
   return out;
+}
+
+template <class F>
+void unary_loop(index_t n, const float* px, float* po, F f) {
+  for (index_t i = 0; i < n; ++i) po[i] = f(px[i]);
 }
 
 template <class F>
 Tensor unary_kernel(const char* name, const Tensor& x, F f) {
   perf::count_kernel(name);
   Tensor out = Tensor::empty(x.shape());
-  const float* px = x.data();
-  float* po = out.data();
   const index_t n = x.numel();
-  for (index_t i = 0; i < n; ++i) po[i] = f(px[i]);
+  unary_loop(n, x.data(), out.data(), f);
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(x);
+    const int so = rec->note_output(out);
+    rec->push(name, /*counted=*/true, {sx}, so,
+              [n, sx, so, f](float* const* S) {
+                unary_loop(n, S[sx], S[so], f);
+              });
+  }
   return out;
 }
 
@@ -385,21 +413,14 @@ Var clamp(const Var& x, float lo, float hi) {
 // ---------------------------------------------------------------------------
 
 namespace {
-Tensor matmul_kernel(const Tensor& a, const Tensor& b) {
-  perf::count_kernel("matmul");
-  FASTCHG_CHECK(a.dim() == 2 && b.dim() == 2,
-                "matmul: need 2-D, got " << shape_str(a.shape()) << " @ "
-                                         << shape_str(b.shape()));
-  const index_t m = a.size(0), k = a.size(1), n = b.size(1);
-  FASTCHG_CHECK(b.size(0) == k, "matmul: inner dims " << k << " vs "
-                                                      << b.size(0));
-  Tensor out = Tensor::zeros({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // Row-partitioned across the worker pool; i-k-j loop order gives a
-  // unit-stride inner loop that vectorizes well under -O3.  Partitions are
-  // disjoint rows, so results are identical for any thread count.
+/// Zero-fill + accumulate (the zero-fill makes the loop self-contained so
+/// replay can run it over recycled slab bytes).  Row-partitioned across the
+/// worker pool; i-k-j loop order gives a unit-stride inner loop that
+/// vectorizes well under -O3.  Partitions are disjoint rows, so results are
+/// identical for any thread count.
+void matmul_loop(index_t m, index_t k, index_t n, const float* pa,
+                 const float* pb, float* po) {
+  std::memset(po, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   parallel_for(0, m, /*grain=*/16, [&](index_t lo, index_t hi) {
     for (index_t i = lo; i < hi; ++i) {
       float* orow = po + i * n;
@@ -411,7 +432,33 @@ Tensor matmul_kernel(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul_kernel(const Tensor& a, const Tensor& b) {
+  perf::count_kernel("matmul");
+  FASTCHG_CHECK(a.dim() == 2 && b.dim() == 2,
+                "matmul: need 2-D, got " << shape_str(a.shape()) << " @ "
+                                         << shape_str(b.shape()));
+  const index_t m = a.size(0), k = a.size(1), n = b.size(1);
+  FASTCHG_CHECK(b.size(0) == k, "matmul: inner dims " << k << " vs "
+                                                      << b.size(0));
+  Tensor out = Tensor::empty({m, n});
+  matmul_loop(m, k, n, a.data(), b.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sa = rec->note_input(a);
+    const int sb = rec->note_input(b);
+    const int so = rec->note_output(out);
+    rec->push("matmul", /*counted=*/true, {sa, sb}, so,
+              [m, k, n, sa, sb, so](float* const* S) {
+                matmul_loop(m, k, n, S[sa], S[sb], S[so]);
+              });
+  }
   return out;
+}
+
+void transpose_loop(index_t m, index_t n, const float* px, float* po) {
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) po[j * m + i] = px[i * n + j];
 }
 
 Tensor transpose_kernel(const Tensor& x) {
@@ -419,10 +466,15 @@ Tensor transpose_kernel(const Tensor& x) {
   FASTCHG_CHECK(x.dim() == 2, "transpose: need 2-D");
   const index_t m = x.size(0), n = x.size(1);
   Tensor out = Tensor::empty({n, m});
-  const float* px = x.data();
-  float* po = out.data();
-  for (index_t i = 0; i < m; ++i)
-    for (index_t j = 0; j < n; ++j) po[j * m + i] = px[i * n + j];
+  transpose_loop(m, n, x.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(x);
+    const int so = rec->note_output(out);
+    rec->push("transpose", /*counted=*/true, {sx}, so,
+              [m, n, sx, so](float* const* S) {
+                transpose_loop(m, n, S[sx], S[so]);
+              });
+  }
   return out;
 }
 }  // namespace
@@ -448,12 +500,27 @@ Var transpose2d(const Var& x) {
 // reductions
 // ---------------------------------------------------------------------------
 
+namespace {
+void sum_all_loop(index_t n, const float* px, float* po) {
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) acc += px[i];
+  po[0] = static_cast<float>(acc);
+}
+}  // namespace
+
 Var sum_all(const Var& x) {
   perf::count_kernel("sum_all");
-  const float* px = x.value().data();
-  double acc = 0.0;
-  for (index_t i = 0; i < x.numel(); ++i) acc += px[i];
-  Tensor out = Tensor::scalar(static_cast<float>(acc));
+  const index_t n = x.numel();
+  Tensor out = Tensor::empty({1});
+  sum_all_loop(n, x.value().data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(x.value());
+    const int so = rec->note_output(out);
+    rec->push("sum_all", /*counted=*/true, {sx}, so,
+              [n, sx, so](float* const* S) {
+                sum_all_loop(n, S[sx], S[so]);
+              });
+  }
   Shape sx = x.shape();
   return make_op_node("sum_all", std::move(out), {x},
                       [sx](const Var& g) -> std::vector<Var> {
@@ -461,27 +528,40 @@ Var sum_all(const Var& x) {
                       });
 }
 
+namespace {
+void sum_dim_loop(index_t dim, index_t rows, index_t cols, const float* px,
+                  float* po) {
+  if (dim == 0) {
+    std::memset(po, 0, static_cast<std::size_t>(cols) * sizeof(float));
+    for (index_t r = 0; r < rows; ++r)
+      for (index_t c = 0; c < cols; ++c) po[c] += px[r * cols + c];
+  } else {
+    for (index_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (index_t c = 0; c < cols; ++c) acc += px[r * cols + c];
+      po[r] = static_cast<float>(acc);
+    }
+  }
+}
+}  // namespace
+
 Var sum_dim(const Var& x, index_t dim, bool keepdim) {
   perf::count_kernel("sum_dim");
   FASTCHG_CHECK(x.value().dim() == 2, "sum_dim: need 2-D, got "
                                           << shape_str(x.shape()));
   FASTCHG_CHECK(dim == 0 || dim == 1, "sum_dim: dim " << dim);
   const index_t rows = x.size(0), cols = x.size(1);
-  const float* px = x.value().data();
-  Tensor out;
-  if (dim == 0) {
-    out = Tensor::zeros(keepdim ? Shape{1, cols} : Shape{cols});
-    float* po = out.data();
-    for (index_t r = 0; r < rows; ++r)
-      for (index_t c = 0; c < cols; ++c) po[c] += px[r * cols + c];
-  } else {
-    out = Tensor::zeros(keepdim ? Shape{rows, 1} : Shape{rows});
-    float* po = out.data();
-    for (index_t r = 0; r < rows; ++r) {
-      double acc = 0.0;
-      for (index_t c = 0; c < cols; ++c) acc += px[r * cols + c];
-      po[r] = static_cast<float>(acc);
-    }
+  Tensor out = (dim == 0)
+                   ? Tensor::empty(keepdim ? Shape{1, cols} : Shape{cols})
+                   : Tensor::empty(keepdim ? Shape{rows, 1} : Shape{rows});
+  sum_dim_loop(dim, rows, cols, x.value().data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(x.value());
+    const int so = rec->note_output(out);
+    rec->push("sum_dim", /*counted=*/true, {sx}, so,
+              [dim, rows, cols, sx, so](float* const* S) {
+                sum_dim_loop(dim, rows, cols, S[sx], S[so]);
+              });
   }
   Shape sx = x.shape();
   Shape mid = (dim == 0) ? Shape{1, cols} : Shape{rows, 1};
@@ -504,28 +584,58 @@ Var mean_all(const Var& x) {
 // broadcast helpers
 // ---------------------------------------------------------------------------
 
+namespace {
+enum class BMode { kFill, kRow, kCol };
+
+void broadcast_loop(BMode mode, index_t rows, index_t cols, index_t n,
+                    const float* px, float* po) {
+  switch (mode) {
+    case BMode::kFill:
+      std::fill_n(po, n, px[0]);
+      break;
+    case BMode::kRow:
+      for (index_t r = 0; r < rows; ++r)
+        std::memcpy(po + r * cols, px,
+                    static_cast<std::size_t>(cols) * sizeof(float));
+      break;
+    case BMode::kCol:
+      for (index_t r = 0; r < rows; ++r)
+        std::fill_n(po + r * cols, cols, px[r]);
+      break;
+  }
+}
+}  // namespace
+
 Var broadcast_to(const Var& x, const Shape& shape) {
   if (same_shape(x.shape(), shape)) return x;
   perf::count_kernel("broadcast");
   const Tensor& xv = x.value();
   Tensor out = Tensor::empty(shape);
-  const float* px = xv.data();
-  float* po = out.data();
   const index_t n = out.numel();
+  BMode mode;
+  index_t rows = 0, cols = 0;
   if (xv.numel() == 1) {
-    std::fill_n(po, n, px[0]);
+    mode = BMode::kFill;
   } else if (is_row_of(xv.shape(), shape)) {
-    const index_t rows = shape[0], cols = shape[1];
-    for (index_t r = 0; r < rows; ++r)
-      std::memcpy(po + r * cols, px,
-                  static_cast<std::size_t>(cols) * sizeof(float));
+    mode = BMode::kRow;
+    rows = shape[0];
+    cols = shape[1];
   } else if (is_col_of(xv.shape(), shape)) {
-    const index_t rows = shape[0], cols = shape[1];
-    for (index_t r = 0; r < rows; ++r)
-      std::fill_n(po + r * cols, cols, px[r]);
+    mode = BMode::kCol;
+    rows = shape[0];
+    cols = shape[1];
   } else {
     FASTCHG_CHECK(false, "broadcast_to " << shape_str(xv.shape()) << " -> "
                                          << shape_str(shape));
+  }
+  broadcast_loop(mode, rows, cols, n, xv.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(xv);
+    const int so = rec->note_output(out);
+    rec->push("broadcast", /*counted=*/true, {sx}, so,
+              [mode, rows, cols, n, sx, so](float* const* S) {
+                broadcast_loop(mode, rows, cols, n, S[sx], S[so]);
+              });
   }
   Shape sx = x.shape();
   return make_op_node("broadcast", std::move(out), {x},
@@ -563,6 +673,34 @@ index_t row_width(const Tensor& t) {
 }
 }  // namespace
 
+namespace {
+void index_select_loop(const std::vector<index_t>& idx, index_t rows,
+                       index_t w, const float* px, float* po) {
+  const index_t k = static_cast<index_t>(idx.size());
+  for (index_t r = 0; r < k; ++r) {
+    const index_t src = idx[static_cast<std::size_t>(r)];
+    FASTCHG_CHECK(src >= 0 && src < rows,
+                  "index_select: index " << src << " out of " << rows);
+    std::memcpy(po + r * w, px + src * w,
+                static_cast<std::size_t>(w) * sizeof(float));
+  }
+}
+
+void index_add_loop(const std::vector<index_t>& idx, index_t rows, index_t w,
+                    const float* ps, float* po) {
+  std::memset(po, 0, static_cast<std::size_t>(rows * w) * sizeof(float));
+  const index_t k = static_cast<index_t>(idx.size());
+  for (index_t r = 0; r < k; ++r) {
+    const index_t dst = idx[static_cast<std::size_t>(r)];
+    FASTCHG_CHECK(dst >= 0 && dst < rows,
+                  "index_add: index " << dst << " out of " << rows);
+    float* orow = po + dst * w;
+    const float* srow = ps + r * w;
+    for (index_t c = 0; c < w; ++c) orow[c] += srow[c];
+  }
+}
+}  // namespace
+
 Var index_select0(const Var& x, std::vector<index_t> idx) {
   perf::count_kernel("index_select");
   const Tensor& xv = x.value();
@@ -571,16 +709,16 @@ Var index_select0(const Var& x, std::vector<index_t> idx) {
   const index_t k = static_cast<index_t>(idx.size());
   Shape out_shape = xv.dim() == 1 ? Shape{k} : Shape{k, w};
   Tensor out = Tensor::empty(out_shape);
-  const float* px = xv.data();
-  float* po = out.data();
-  for (index_t r = 0; r < k; ++r) {
-    const index_t src = idx[static_cast<std::size_t>(r)];
-    FASTCHG_CHECK(src >= 0 && src < rows,
-                  "index_select: index " << src << " out of " << rows);
-    std::memcpy(po + r * w, px + src * w,
-                static_cast<std::size_t>(w) * sizeof(float));
-  }
   auto idx_sp = std::make_shared<std::vector<index_t>>(std::move(idx));
+  index_select_loop(*idx_sp, rows, w, xv.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(xv);
+    const int so = rec->note_output(out);
+    rec->push("index_select", /*counted=*/true, {sx}, so,
+              [idx_sp, rows, w, sx, so](float* const* S) {
+                index_select_loop(*idx_sp, rows, w, S[sx], S[so]);
+              });
+  }
   return make_op_node("index_select", std::move(out), {x},
                       [idx_sp, rows](const Var& g) -> std::vector<Var> {
                         return {index_add0(rows, *idx_sp, g)};
@@ -596,18 +734,17 @@ Var index_add0(index_t rows, std::vector<index_t> idx, const Var& src) {
                 "index_add: " << idx.size() << " indices for " << k
                               << " rows");
   Shape out_shape = sv.dim() == 1 ? Shape{rows} : Shape{rows, w};
-  Tensor out = Tensor::zeros(out_shape);
-  const float* ps = sv.data();
-  float* po = out.data();
-  for (index_t r = 0; r < k; ++r) {
-    const index_t dst = idx[static_cast<std::size_t>(r)];
-    FASTCHG_CHECK(dst >= 0 && dst < rows,
-                  "index_add: index " << dst << " out of " << rows);
-    float* orow = po + dst * w;
-    const float* srow = ps + r * w;
-    for (index_t c = 0; c < w; ++c) orow[c] += srow[c];
-  }
+  Tensor out = Tensor::empty(out_shape);
   auto idx_sp = std::make_shared<std::vector<index_t>>(std::move(idx));
+  index_add_loop(*idx_sp, rows, w, sv.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int ss = rec->note_input(sv);
+    const int so = rec->note_output(out);
+    rec->push("index_add", /*counted=*/true, {ss}, so,
+              [idx_sp, rows, w, ss, so](float* const* S) {
+                index_add_loop(*idx_sp, rows, w, S[ss], S[so]);
+              });
+  }
   return make_op_node("index_add", std::move(out), {src},
                       [idx_sp](const Var& g) -> std::vector<Var> {
                         return {index_select0(g, *idx_sp)};
@@ -670,6 +807,38 @@ Var cat(const std::vector<Var>& xs, index_t dim) {
       coff += c;
     }
   }
+  if (auto* rec = replay::Recorder::active()) {
+    std::vector<int> sin;
+    std::vector<index_t> widths;  // dim 0: numel; dim 1: cols per input
+    sin.reserve(xs.size());
+    widths.reserve(xs.size());
+    for (const Var& x : xs) {
+      sin.push_back(rec->note_input(x.value()));
+      widths.push_back(dim == 0 ? x.numel() : x.size(1));
+    }
+    const int so = rec->note_output(out);
+    const index_t rows = dim == 0 ? 0 : out_shape[0];
+    const index_t cols = dim == 0 ? 0 : out_shape[1];
+    rec->push("cat", /*counted=*/true, sin, so,
+              [sin, widths, dim, rows, cols, so](float* const* S) {
+                float* o = S[so];
+                index_t off = 0;
+                for (std::size_t i = 0; i < sin.size(); ++i) {
+                  const float* p = S[sin[i]];
+                  const index_t wdt = widths[i];
+                  if (dim == 0) {
+                    std::memcpy(o + off, p,
+                                static_cast<std::size_t>(wdt) * sizeof(float));
+                  } else {
+                    for (index_t r = 0; r < rows; ++r)
+                      std::memcpy(o + r * cols + off, p + r * wdt,
+                                  static_cast<std::size_t>(wdt) *
+                                      sizeof(float));
+                  }
+                  off += wdt;
+                }
+              });
+  }
   std::vector<index_t> sizes;
   sizes.reserve(xs.size());
   for (const Var& x : xs) sizes.push_back(x.size(dim));
@@ -697,18 +866,37 @@ Var narrow(const Var& x, index_t dim, index_t start, index_t len) {
                             << xv.size(dim));
   Tensor out;
   const float* px = xv.data();
+  const index_t w = (d == 1 || dim == 1) ? 1 : xv.size(1);
+  const index_t rows = xv.size(0);
+  const index_t cols = d == 2 ? xv.size(1) : 1;
   if (dim == 0) {
-    const index_t w = d == 1 ? 1 : xv.size(1);
     out = Tensor::empty(d == 1 ? Shape{len} : Shape{len, xv.size(1)});
     std::memcpy(out.data(), px + start * w,
                 static_cast<std::size_t>(len * w) * sizeof(float));
   } else {
-    const index_t rows = xv.size(0), cols = xv.size(1);
     out = Tensor::empty({rows, len});
     float* po = out.data();
     for (index_t r = 0; r < rows; ++r)
       std::memcpy(po + r * len, px + r * cols + start,
                   static_cast<std::size_t>(len) * sizeof(float));
+  }
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(xv);
+    const int so = rec->note_output(out);
+    rec->push("narrow", /*counted=*/true, {sx}, so,
+              [dim, start, len, w, rows, cols, sx, so](float* const* S) {
+                const float* p = S[sx];
+                float* o = S[so];
+                if (dim == 0) {
+                  std::memcpy(o, p + start * w,
+                              static_cast<std::size_t>(len * w) *
+                                  sizeof(float));
+                } else {
+                  for (index_t r = 0; r < rows; ++r)
+                    std::memcpy(o + r * len, p + r * cols + start,
+                                static_cast<std::size_t>(len) * sizeof(float));
+                }
+              });
   }
   const index_t total = xv.size(dim);
   return make_op_node("narrow", std::move(out), {x},
@@ -729,18 +917,38 @@ Var pad_slice(const Var& x, index_t dim, index_t start, index_t total) {
                                << total);
   Tensor out;
   const float* px = xv.data();
+  const index_t w = (d == 1 || dim == 1) ? 1 : xv.size(1);
+  const index_t rows = d == 2 ? xv.size(0) : 0;
   if (dim == 0) {
-    const index_t w = d == 1 ? 1 : xv.size(1);
     out = Tensor::zeros(d == 1 ? Shape{total} : Shape{total, xv.size(1)});
     std::memcpy(out.data() + start * w, px,
                 static_cast<std::size_t>(len * w) * sizeof(float));
   } else {
-    const index_t rows = xv.size(0);
     out = Tensor::zeros({rows, total});
     float* po = out.data();
     for (index_t r = 0; r < rows; ++r)
       std::memcpy(po + r * total + start, px + r * len,
                   static_cast<std::size_t>(len) * sizeof(float));
+  }
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(xv);
+    const int so = rec->note_output(out);
+    const index_t on = out.numel();
+    rec->push("pad_slice", /*counted=*/true, {sx}, so,
+              [dim, start, len, total, w, rows, on, sx, so](float* const* S) {
+                const float* p = S[sx];
+                float* o = S[so];
+                std::memset(o, 0, static_cast<std::size_t>(on) * sizeof(float));
+                if (dim == 0) {
+                  std::memcpy(o + start * w, p,
+                              static_cast<std::size_t>(len * w) *
+                                  sizeof(float));
+                } else {
+                  for (index_t r = 0; r < rows; ++r)
+                    std::memcpy(o + r * total + start, p + r * len,
+                                static_cast<std::size_t>(len) * sizeof(float));
+                }
+              });
   }
   return make_op_node("pad_slice", std::move(out), {x},
                       [dim, start, len](const Var& g) -> std::vector<Var> {

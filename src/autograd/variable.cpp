@@ -5,6 +5,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/alloc.hpp"
+#include "core/replay.hpp"
 
 namespace fastchg::ag {
 
@@ -131,14 +132,23 @@ std::vector<Node*> topo_order(Node* root) {
 }
 
 /// Shared traversal: propagate gradients from `root` (seeded with `seed`)
-/// and return the accumulator map.
+/// and return the accumulator map.  When `leaves` is given, it receives
+/// every leaf that received a gradient, in the deterministic order the
+/// topo walk first reached it -- backward() iterates leaves through this
+/// list rather than the pointer-hashed map, so the trailing
+/// grad-accumulate sequence (and with it a replay capture's fingerprint
+/// and slot numbering) is identical across runs.
 std::unordered_map<Node*, Var> propagate(const Var& root, Var seed,
-                                         bool create_graph) {
+                                         bool create_graph,
+                                         std::vector<Node*>* leaves) {
   FASTCHG_CHECK(root.defined(), "backward on undefined Var");
   FASTCHG_CHECK(root.requires_grad(),
                 "backward on Var that does not require grad");
   std::unordered_map<Node*, Var> grads;
   grads[root.node().get()] = std::move(seed);
+  if (leaves != nullptr && !root.node()->backward_fn) {
+    leaves->push_back(root.node().get());
+  }
 
   std::vector<Node*> order = topo_order(root.node().get());
   // Post-order puts producers first; walk consumers-to-producers.
@@ -163,6 +173,9 @@ std::unordered_map<Node*, Var> propagate(const Var& root, Var seed,
       Var g = create_graph ? gins[i] : gins[i].detach();
       auto [slot, inserted] = grads.try_emplace(in, g);
       if (!inserted) slot->second = ops::add(slot->second, g);
+      if (inserted && leaves != nullptr && !in->backward_fn) {
+        leaves->push_back(in);
+      }
     }
     // Free this node's incoming gradient early unless the caller needs the
     // graph of gradients (mirrors eager gradient-buffer release on GPU).
@@ -181,13 +194,23 @@ void backward(const Var& root, Tensor grad_seed, bool create_graph) {
                                         << " vs root "
                                         << shape_str(root.shape()));
   Var seed(std::move(grad_seed), /*requires_grad=*/false);
-  auto grads = propagate(root, std::move(seed), create_graph);
-  for (auto& [node, g] : grads) {
-    if (node->backward_fn) continue;  // only leaves accumulate .grad
+  std::vector<Node*> leaves;
+  auto grads = propagate(root, std::move(seed), create_graph, &leaves);
+  for (Node* node : leaves) {
+    auto it = grads.find(node);
+    if (it == grads.end()) continue;
+    const Var& g = it->second;
     if (!node->grad.defined()) {
+      // First touch: transient leaves (fresh positions/strain each step)
+      // land here every time and are deliberately not recorded -- a replay
+      // capture runs against warm accumulators, so only the steady-state
+      // `grad += g` below belongs on the tape.
       node->grad = g.value().clone();
     } else {
       node->grad.add_(g.value());
+      if (auto* rec = replay::Recorder::active()) {
+        rec->note_accumulate(node->grad, g.value());
+      }
     }
   }
 }
@@ -199,7 +222,8 @@ std::vector<Var> grad(const Var& output, const std::vector<Var>& inputs,
   }
   // create_graph implies the propagation itself must keep per-node gradient
   // vars alive, so propagate() skips the early-release path.
-  auto grads = propagate(output, grad_output, create_graph);
+  auto grads = propagate(output, grad_output, create_graph,
+                         /*leaves=*/nullptr);
   std::vector<Var> out;
   out.reserve(inputs.size());
   for (const Var& in : inputs) {

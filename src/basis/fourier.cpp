@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -14,6 +15,22 @@ using ag::make_op_node;
 namespace {
 const float kInvSqrtPi = 1.0f / std::sqrt(static_cast<float>(M_PI));
 const float kConstTerm = 1.0f / std::sqrt(2.0f * static_cast<float>(M_PI));
+
+/// Fused Fourier forward loop, shared by the eager kernel and its replay
+/// closure.
+void fourier_loop(index_t g, index_t order, const float* pt, float* po) {
+  const index_t nb = 2 * order + 1;
+  for (index_t i = 0; i < g; ++i) {
+    float* row = po + i * nb;
+    row[0] = kConstTerm;
+    const float t = pt[i];
+    for (index_t n = 1; n <= order; ++n) {
+      const float nt = static_cast<float>(n) * t;
+      row[n] = std::cos(nt) * kInvSqrtPi;
+      row[order + n] = std::sin(nt) * kInvSqrtPi;
+    }
+  }
+}
 }  // namespace
 
 AngularBasis::AngularBasis(index_t num_basis, bool fused) : fused_(fused) {
@@ -54,17 +71,15 @@ Var AngularBasis::forward_fused(const Var& theta) const {
   const index_t g = theta.size(0);
   const index_t nb = 2 * order_ + 1;
   Tensor out = Tensor::empty({g, nb});
-  const float* pt = theta.value().data();
-  float* po = out.data();
-  for (index_t i = 0; i < g; ++i) {
-    float* row = po + i * nb;
-    row[0] = kConstTerm;
-    const float t = pt[i];
-    for (index_t n = 1; n <= order_; ++n) {
-      const float nt = static_cast<float>(n) * t;
-      row[n] = std::cos(nt) * kInvSqrtPi;
-      row[order_ + n] = std::sin(nt) * kInvSqrtPi;
-    }
+  fourier_loop(g, order_, theta.value().data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int st = rec->note_input(theta.value());
+    const int so = rec->note_output(out);
+    const index_t ov = order_;
+    rec->push("fused_fourier", /*counted=*/true, {st}, so,
+              [g, ov, st, so](float* const* S) {
+                fourier_loop(g, ov, S[st], S[so]);
+              });
   }
   const index_t order = order_;
   Var th = theta;

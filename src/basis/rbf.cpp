@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -10,6 +11,24 @@ namespace fastchg::basis {
 
 using namespace ag::ops;
 using ag::make_op_node;
+
+namespace {
+/// Fused sRBF forward loop, shared by the eager kernel and its replay
+/// closure (bit-identical results by construction).
+void srbf_loop(index_t e, index_t nb, float rc, float c, int p,
+               const float* pr, const float* pf, float* po) {
+  for (index_t i = 0; i < e; ++i) {
+    const float rv = pr[i];
+    const float x = rv / rc;
+    const float u = static_cast<float>(envelope_value(x, p));
+    const float pre = c * u / rv;
+    float* row = po + i * nb;
+    for (index_t n = 0; n < nb; ++n) {
+      row[n] = pre * std::sin(pf[n] * x);
+    }
+  }
+}
+}  // namespace
 
 RadialBasis::RadialBasis(index_t num_basis, double cutoff, int p, bool fused,
                          bool factored_envelope)
@@ -51,18 +70,18 @@ Var RadialBasis::forward_fused(const Var& r) const {
   const float rc = static_cast<float>(cutoff_);
   const float c = std::sqrt(2.0f / rc);
   Tensor out = Tensor::empty({e, nb_});
-  const float* pr = r.value().data();
-  const float* pf = freq_.value().data();
-  float* po = out.data();
-  for (index_t i = 0; i < e; ++i) {
-    const float rv = pr[i];
-    const float x = rv / rc;
-    const float u = static_cast<float>(envelope_value(x, p_));
-    const float pre = c * u / rv;
-    float* row = po + i * nb_;
-    for (index_t n = 0; n < nb_; ++n) {
-      row[n] = pre * std::sin(pf[n] * x);
-    }
+  srbf_loop(e, nb_, rc, c, p_, r.value().data(), freq_.value().data(),
+            out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sr = rec->note_input(r.value());
+    const int sf = rec->note_input(freq_.value());  // baked parameter slot
+    const int so = rec->note_output(out);
+    const index_t nbv = nb_;
+    const int pv = p_;
+    rec->push("fused_srbf", /*counted=*/true, {sr, sf}, so,
+              [e, nbv, rc, c, pv, sr, sf, so](float* const* S) {
+                srbf_loop(e, nbv, rc, c, pv, S[sr], S[sf], S[so]);
+              });
   }
   const index_t nb = nb_;
   const int p = p_;

@@ -1,0 +1,102 @@
+#include "core/memplan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastchg::replay {
+
+namespace {
+
+bool lifetimes_intersect(const BufferLife& a, const BufferLife& b) {
+  return a.def <= b.last && b.def <= a.last;
+}
+
+}  // namespace
+
+std::size_t aligned_bytes(std::size_t bytes) {
+  const std::size_t a = MemPlan::kAlign;
+  if (bytes == 0) bytes = 1;
+  return (bytes + a - 1) / a * a;
+}
+
+MemPlan plan_memory(std::vector<BufferLife> buffers) {
+  MemPlan plan;
+
+  // Lower bound: at every op index, the bytes of all live buffers must
+  // coexist, so the worst op index bounds any plan for this order.
+  int horizon = 0;
+  for (const BufferLife& b : buffers) horizon = std::max(horizon, b.last);
+  for (int t = 0; t <= horizon; ++t) {
+    std::size_t live = 0;
+    for (const BufferLife& b : buffers) {
+      if (b.def <= t && t <= b.last) live += aligned_bytes(b.bytes);
+    }
+    plan.lower_bound_bytes = std::max(plan.lower_bound_bytes, live);
+  }
+
+  // First-fit decreasing: big buffers claim low offsets first, small ones
+  // fill the gaps between lifetimes.
+  std::vector<std::size_t> order(buffers.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    const std::size_t bi = aligned_bytes(buffers[i].bytes);
+    const std::size_t bj = aligned_bytes(buffers[j].bytes);
+    if (bi != bj) return bi > bj;
+    if (buffers[i].def != buffers[j].def) {
+      return buffers[i].def < buffers[j].def;
+    }
+    return i < j;
+  });
+
+  std::vector<std::size_t> placed;  // indices already assigned
+  placed.reserve(buffers.size());
+  std::vector<std::pair<std::size_t, std::size_t>> busy;  // [start, end)
+  for (std::size_t idx : order) {
+    BufferLife& b = buffers[idx];
+    const std::size_t need = aligned_bytes(b.bytes);
+    busy.clear();
+    for (std::size_t p : placed) {
+      if (lifetimes_intersect(b, buffers[p])) {
+        busy.emplace_back(buffers[p].offset,
+                          buffers[p].offset + aligned_bytes(buffers[p].bytes));
+      }
+    }
+    std::sort(busy.begin(), busy.end());
+    std::size_t at = 0;
+    for (const auto& [lo, hi] : busy) {
+      if (at + need <= lo) break;  // fits in the gap before this range
+      at = std::max(at, hi);
+    }
+    b.offset = at;
+    placed.push_back(idx);
+    plan.slab_bytes = std::max(plan.slab_bytes, at + need);
+  }
+
+  plan.buffers = std::move(buffers);
+  return plan;
+}
+
+bool plan_valid(const MemPlan& plan) {
+  std::size_t extent = 0;
+  for (const BufferLife& b : plan.buffers) {
+    const std::size_t end = b.offset + aligned_bytes(b.bytes);
+    if (b.offset % MemPlan::kAlign != 0) return false;
+    if (end > plan.slab_bytes) return false;
+    if (b.last < b.def) return false;
+    extent = std::max(extent, end);
+  }
+  if (!plan.buffers.empty() && extent != plan.slab_bytes) return false;
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const BufferLife& a = plan.buffers[i];
+      const BufferLife& b = plan.buffers[j];
+      if (!lifetimes_intersect(a, b)) continue;
+      const std::size_t a_end = a.offset + aligned_bytes(a.bytes);
+      const std::size_t b_end = b.offset + aligned_bytes(b.bytes);
+      if (a.offset < b_end && b.offset < a_end) return false;
+    }
+  }
+  return plan.slab_bytes >= plan.lower_bound_bytes;
+}
+
+}  // namespace fastchg::replay

@@ -1,0 +1,57 @@
+// Static memory planning for recorded-step replay (core/replay.hpp).
+//
+// A captured step program knows every intermediate buffer's size and
+// lifetime interval [def, last] in recorded-op order.  From those intervals
+// this planner assigns each buffer an exact byte offset inside one
+// contiguous slab, so a replayed step performs zero allocations: every
+// intermediate lives at a fixed address and buffers whose lifetimes do not
+// overlap share bytes.
+//
+// The planner is first-fit over buffers ordered by decreasing size (ties
+// broken by definition order): for each buffer it collects the address
+// ranges of already-placed buffers whose lifetimes intersect and slots the
+// buffer into the lowest aligned gap.  It also reports the max-live lower
+// bound (the largest sum of concurrently-live bytes at any op index); no
+// plan for the recorded order can use fewer bytes than that.  On the
+// nested / disjoint lifetime patterns an autograd step produces the two
+// coincide, which tests assert on hand-built cases; plan_valid() is the
+// brute-force checker that any plan must pass regardless.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fastchg::replay {
+
+/// One intermediate buffer: payload size plus the recorded-op interval
+/// during which it must hold its value.  `def` is the op index that writes
+/// it, `last` the final op index that reads it (inclusive; >= def).
+struct BufferLife {
+  std::size_t bytes = 0;
+  int def = 0;
+  int last = 0;
+  std::size_t offset = 0;  ///< assigned by plan_memory()
+};
+
+struct MemPlan {
+  /// 64-byte offset alignment: keeps every planned buffer on a cache-line
+  /// boundary (and ready for the SIMD kernel tier).
+  static constexpr std::size_t kAlign = 64;
+
+  std::vector<BufferLife> buffers;    ///< input order preserved
+  std::size_t slab_bytes = 0;         ///< extent the plan occupies
+  std::size_t lower_bound_bytes = 0;  ///< max concurrently-live bytes
+};
+
+/// Size a buffer occupies in the slab (payload rounded up to kAlign).
+std::size_t aligned_bytes(std::size_t bytes);
+
+/// Assign offsets; `buffers` keeps its order (buffer i in == buffer i out).
+MemPlan plan_memory(std::vector<BufferLife> buffers);
+
+/// Brute-force validity check: every pair of buffers with intersecting
+/// lifetimes occupies disjoint address ranges, every buffer fits inside
+/// slab_bytes, and slab_bytes is exactly the furthest byte used.
+bool plan_valid(const MemPlan& plan);
+
+}  // namespace fastchg::replay

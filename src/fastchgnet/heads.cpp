@@ -3,11 +3,37 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 #include "perf/trace.hpp"
 
 namespace fastchg::model {
 
 using namespace ag::ops;
+
+namespace {
+/// Outer-product-of-normalized-lattice-rows loop, shared by the eager call
+/// and the replay closure (lattices are rebindable batch inputs, so the
+/// value must be recomputed on every replayed step).
+void lattice_outer_loop(const float* l, float* po) {
+  float nrm[3];
+  for (int i = 0; i < 3; ++i) {
+    nrm[i] = std::sqrt(l[i * 3] * l[i * 3] + l[i * 3 + 1] * l[i * 3 + 1] +
+                       l[i * 3 + 2] * l[i * 3 + 2]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+          // (sum_ab lhat_a (x) lhat_b)_{ij} = sum_ab lhat_a[i]*lhat_b[j]
+          acc += (l[a * 3 + i] / nrm[a]) * (l[b * 3 + j] / nrm[b]);
+        }
+      }
+      po[i * 3 + j] = static_cast<float>(acc);
+    }
+  }
+}
+}  // namespace
 
 ForceHead::ForceHead(const ModelConfig& cfg, Rng& rng)
     : fc1_(cfg.feat_dim, cfg.feat_dim, rng), fc2_(cfg.feat_dim, 1, rng) {
@@ -35,24 +61,17 @@ StressHead::StressHead(const ModelConfig& cfg, Rng& rng)
 Tensor StressHead::lattice_outer(const Tensor& lattice) {
   FASTCHG_CHECK(same_shape(lattice.shape(), {3, 3}),
                 "lattice_outer: " << shape_str(lattice.shape()));
-  const float* l = lattice.data();
-  float nrm[3];
-  for (int i = 0; i < 3; ++i) {
-    nrm[i] = std::sqrt(l[i * 3] * l[i * 3] + l[i * 3 + 1] * l[i * 3 + 1] +
-                       l[i * 3 + 2] * l[i * 3 + 2]);
-  }
-  Tensor out = Tensor::zeros({1, 9});
-  for (int i = 0; i < 3; ++i) {
-    for (int j = 0; j < 3; ++j) {
-      double acc = 0.0;
-      for (int a = 0; a < 3; ++a) {
-        for (int b = 0; b < 3; ++b) {
-          // (sum_ab lhat_a (x) lhat_b)_{ij} = sum_ab lhat_a[i]*lhat_b[j]
-          acc += (l[a * 3 + i] / nrm[a]) * (l[b * 3 + j] / nrm[b]);
-        }
-      }
-      out.data()[i * 3 + j] = static_cast<float>(acc);
-    }
+  Tensor out = Tensor::empty({1, 9});
+  lattice_outer_loop(lattice.data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    // counted=false: the eager path records no kernel launch for this
+    // helper, so neither does replay.
+    const int sl = rec->note_input(lattice);
+    const int so = rec->note_output(out);
+    rec->push("lattice_outer", /*counted=*/false, {sl}, so,
+              [sl, so](float* const* S) {
+                lattice_outer_loop(S[sl], S[so]);
+              });
   }
   return out;
 }

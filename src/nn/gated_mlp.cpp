@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -13,7 +14,42 @@ using ag::make_op_node;
 
 namespace {
 constexpr float kLnEps = 1e-5f;
+
+/// Fused gated-activation forward loop, shared by the eager kernel and its
+/// replay closure.
+void gated_act_loop(index_t rows, index_t c, float eps, const float* pp,
+                    const float* gc, const float* bc, const float* gg,
+                    const float* bg, float* po) {
+  auto ln_row = [eps](const float* row, index_t n, float& mean, float& rstd) {
+    double m = 0.0;
+    for (index_t i = 0; i < n; ++i) m += row[i];
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double d = row[i] - m;
+      v += d * d;
+    }
+    v /= static_cast<double>(n);
+    mean = static_cast<float>(m);
+    rstd = 1.0f / std::sqrt(static_cast<float>(v) + eps);
+  };
+  for (index_t r = 0; r < rows; ++r) {
+    const float* core = pp + r * 2 * c;
+    const float* gate = core + c;
+    float mc, rc, mg, rg;
+    ln_row(core, c, mc, rc);
+    ln_row(gate, c, mg, rg);
+    float* orow = po + r * c;
+    for (index_t i = 0; i < c; ++i) {
+      const float cn = (core[i] - mc) * rc * gc[i] + bc[i];
+      const float gn = (gate[i] - mg) * rg * gg[i] + bg[i];
+      const float sc = 1.0f / (1.0f + std::exp(-cn));  // shared sigmoid
+      const float sg = 1.0f / (1.0f + std::exp(-gn));
+      orow[i] = sg * (cn * sc);  // sigmoid(gate) * silu(core)
+    }
+  }
 }
+}  // namespace
 
 GatedMLP::GatedMLP(index_t in, index_t out, Rng& rng, bool fused)
     : in_(in),
@@ -58,39 +94,22 @@ Var gated_act_fused(const Var& packed, const Var& gamma_c, const Var& beta_c,
   const index_t rows = pv.size(0);
   const index_t c = pv.size(1) / 2;
   Tensor out = Tensor::empty({rows, c});
-  const float* pp = pv.data();
-  const float* gc = gamma_c.value().data();
-  const float* bc = beta_c.value().data();
-  const float* gg = gamma_g.value().data();
-  const float* bg = beta_g.value().data();
-  float* po = out.data();
-  auto ln_row = [eps](const float* row, index_t n, float& mean, float& rstd) {
-    double m = 0.0;
-    for (index_t i = 0; i < n; ++i) m += row[i];
-    m /= static_cast<double>(n);
-    double v = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      const double d = row[i] - m;
-      v += d * d;
-    }
-    v /= static_cast<double>(n);
-    mean = static_cast<float>(m);
-    rstd = 1.0f / std::sqrt(static_cast<float>(v) + eps);
-  };
-  for (index_t r = 0; r < rows; ++r) {
-    const float* core = pp + r * 2 * c;
-    const float* gate = core + c;
-    float mc, rc, mg, rg;
-    ln_row(core, c, mc, rc);
-    ln_row(gate, c, mg, rg);
-    float* orow = po + r * c;
-    for (index_t i = 0; i < c; ++i) {
-      const float cn = (core[i] - mc) * rc * gc[i] + bc[i];
-      const float gn = (gate[i] - mg) * rg * gg[i] + bg[i];
-      const float sc = 1.0f / (1.0f + std::exp(-cn));  // shared sigmoid
-      const float sg = 1.0f / (1.0f + std::exp(-gn));
-      orow[i] = sg * (cn * sc);  // sigmoid(gate) * silu(core)
-    }
+  gated_act_loop(rows, c, eps, pv.data(), gamma_c.value().data(),
+                 beta_c.value().data(), gamma_g.value().data(),
+                 beta_g.value().data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sp = rec->note_input(pv);
+    const int sgc = rec->note_input(gamma_c.value());
+    const int sbc = rec->note_input(beta_c.value());
+    const int sgg = rec->note_input(gamma_g.value());
+    const int sbg = rec->note_input(beta_g.value());
+    const int so = rec->note_output(out);
+    rec->push("fused_gated_act", /*counted=*/true,
+              {sp, sgc, sbc, sgg, sbg}, so,
+              [rows, c, eps, sp, sgc, sbc, sgg, sbg, so](float* const* S) {
+                gated_act_loop(rows, c, eps, S[sp], S[sgc], S[sbc], S[sgg],
+                               S[sbg], S[so]);
+              });
   }
   return make_op_node(
       "fused_gated_act", std::move(out),

@@ -3,12 +3,38 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 #include "perf/counters.hpp"
 
 namespace fastchg::nn {
 
 using namespace ag::ops;
 using ag::make_op_node;
+
+namespace {
+/// Fused layernorm forward loop, shared by the eager kernel and its replay
+/// closure.
+void layernorm_loop(index_t rows, index_t cols, float eps, const float* px,
+                    const float* pg, const float* pb, float* po) {
+  for (index_t r = 0; r < rows; ++r) {
+    const float* row = px + r * cols;
+    double mean = 0.0;
+    for (index_t c = 0; c < cols; ++c) mean += row[c];
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (index_t c = 0; c < cols; ++c) {
+      const double d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float rstd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    float* orow = po + r * cols;
+    for (index_t c = 0; c < cols; ++c) {
+      orow[c] = (row[c] - static_cast<float>(mean)) * rstd * pg[c] + pb[c];
+    }
+  }
+}
+}  // namespace
 
 LayerNorm::LayerNorm(index_t dim, bool fused, float eps)
     : dim_(dim), fused_(fused), eps_(eps) {
@@ -39,26 +65,17 @@ Var layernorm_fused(const Var& x, const Var& gamma, const Var& beta,
   const Tensor& xv = x.value();
   const index_t rows = xv.size(0), cols = xv.size(1);
   Tensor out = Tensor::empty({rows, cols});
-  const float* px = xv.data();
-  const float* pg = gamma.value().data();
-  const float* pb = beta.value().data();
-  float* po = out.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const float* row = px + r * cols;
-    double mean = 0.0;
-    for (index_t c = 0; c < cols; ++c) mean += row[c];
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (index_t c = 0; c < cols; ++c) {
-      const double d = row[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const float rstd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    float* orow = po + r * cols;
-    for (index_t c = 0; c < cols; ++c) {
-      orow[c] = (row[c] - static_cast<float>(mean)) * rstd * pg[c] + pb[c];
-    }
+  layernorm_loop(rows, cols, eps, xv.data(), gamma.value().data(),
+                 beta.value().data(), out.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sx = rec->note_input(xv);
+    const int sg = rec->note_input(gamma.value());
+    const int sb = rec->note_input(beta.value());
+    const int so = rec->note_output(out);
+    rec->push("fused_layernorm", /*counted=*/true, {sx, sg, sb}, so,
+              [rows, cols, eps, sx, sg, sb, so](float* const* S) {
+                layernorm_loop(rows, cols, eps, S[sx], S[sg], S[sb], S[so]);
+              });
   }
   // Backward recomputes the normalization with primitive ops so the gradient
   // is itself differentiable (double backward path).

@@ -42,6 +42,21 @@ struct Counters {
   /// -- the long-lived-server watermark policy (docs/memory.md) aggregated
   /// across every pool in the process.
   std::uint64_t pool_trimmed_bytes = 0;
+  // Recorded-step replay accounting (core/replay.hpp, docs/replay.md).
+  // hits = steps executed as flat pre-planned programs, misses = cache
+  // lookups that ran eager (cold key, warm-up sighting, capture in flight,
+  // program busy on another thread), fallbacks = the subset of misses where
+  // a cached program existed but could not be used (bind/validation failure
+  // or lease contention), captures = programs recorded and stored.  Like
+  // the pool counters these fire from serve workers concurrently, so they
+  // live under the same mutex as every other mutation -- including reset(),
+  // which zeroes the rates but NOT replay_plan_bytes: that is a gauge of
+  // slab bytes currently held by live programs (analogous to bytes_live).
+  std::uint64_t replay_hits = 0;
+  std::uint64_t replay_misses = 0;
+  std::uint64_t replay_fallbacks = 0;
+  std::uint64_t replay_captures = 0;
+  std::uint64_t replay_plan_bytes = 0;
   // Per-op-name launch counts (for attribution tables in benches).
   std::map<std::string, std::uint64_t> per_op;
   bool per_op_enabled = false;
@@ -81,6 +96,14 @@ void track_pool_hit();                   ///< pooled request served by a free li
 void track_pool_miss();                  ///< pooled request that went upstream
 void track_pool_slab(std::int64_t delta);  ///< slab bytes acquired (+) / trimmed (-)
 void track_pool_trim(std::uint64_t bytes); ///< slab bytes released by a trim
+
+/// Replay-layer hooks (called by core/replay.cpp only).
+void track_replay_hit();
+void track_replay_miss();
+void track_replay_fallback();
+void track_replay_capture();
+/// Program slab acquired (+) at capture / released (-) at destruction.
+void track_replay_plan_bytes(std::int64_t delta);
 
 /// Record `n` occurrences of a robustness event (e.g. "serve.fp32_fallback",
 /// "md.dt_halved").  See docs/serving.md for the event vocabulary.

@@ -64,6 +64,11 @@ struct EngineConfig {
   index_t max_batch = 8;   ///< structures fused per forward tick (>= 1)
   int batch_workers = 1;   ///< max concurrently executing micro-batches
 
+  // Recorded-step replay of fused forwards (core/replay.hpp; also gated
+  // globally by FASTCHG_REPLAY).  Forwarded to the micro-batcher.
+  bool replay = true;
+  std::size_t replay_capacity = 16;
+
   // Structure-fingerprint LRU cache (queued path; 0 disables).
   std::size_t cache_capacity = 0;
   bool cache_results = true;  ///< replay full replies for exact repeats
@@ -177,6 +182,10 @@ class InferenceEngine {
   /// The int8-round-tripped replica (nullptr when quantize = false).
   /// Exposed for diagnostics and fault-injection tests.
   model::CHGNet* quantized_replica() { return replica_.get(); }
+  /// Replay program cache behind the queued path's fused forwards.
+  const replay::ProgramCache& replay_cache() const {
+    return batcher_.replay_cache();
+  }
 
  private:
   /// One forward through `m` plus the numeric watchdog.

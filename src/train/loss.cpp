@@ -1,22 +1,36 @@
 #include "train/loss.hpp"
 
 #include "autograd/ops.hpp"
+#include "core/replay.hpp"
 
 namespace fastchg::train {
 
 using namespace ag::ops;
 
+namespace {
+void huber_mask_loop(index_t n, float delta, const float* p, float* m) {
+  for (index_t i = 0; i < n; ++i) {
+    m[i] = p[i] <= delta ? 1.0f : 0.0f;
+  }
+}
+}  // namespace
+
 Var huber(const Var& pred, const Var& target, float delta) {
   Var d = sub(pred, target);
   Var ad = abs_op(d);
-  // Branch mask as a constant (standard subgradient treatment).
+  // Branch mask as a constant (standard subgradient treatment).  The mask
+  // depends on |d| values, so it is recorded for replay (counted=false:
+  // the eager path records no kernel launch for it).
   Tensor mask_t = Tensor::empty(ad.shape());
-  {
-    const float* p = ad.value().data();
-    float* m = mask_t.data();
-    for (index_t i = 0; i < ad.numel(); ++i) {
-      m[i] = p[i] <= delta ? 1.0f : 0.0f;
-    }
+  const index_t n = ad.numel();
+  huber_mask_loop(n, delta, ad.value().data(), mask_t.data());
+  if (auto* rec = replay::Recorder::active()) {
+    const int sa = rec->note_input(ad.value());
+    const int sm = rec->note_output(mask_t);
+    rec->push("huber_mask", /*counted=*/false, {sa}, sm,
+              [n, delta, sa, sm](float* const* S) {
+                huber_mask_loop(n, delta, S[sa], S[sm]);
+              });
   }
   Var mask = constant(std::move(mask_t));
   Var quad = mul_scalar(square(d), 0.5f);
@@ -38,6 +52,10 @@ LossResult chgnet_loss(const model::ModelOutput& out, const data::Batch& b,
   r.magmom = lm.item();
   r.total = add(add(mul_scalar(le, w.energy), mul_scalar(lf, w.force)),
                 add(mul_scalar(ls, w.stress), mul_scalar(lm, w.magmom)));
+  r.energy_v = le;
+  r.force_v = lf;
+  r.stress_v = ls;
+  r.magmom_v = lm;
   return r;
 }
 

@@ -18,6 +18,8 @@
 
 namespace fastchg::ag::ops {
 
+namespace fuse = replay::fuse;
+
 namespace {
 
 // --------------------------------------------------------------------------
@@ -127,9 +129,44 @@ void binary_loop(BPat pat, index_t rows, index_t cols, index_t n,
   }
 }
 
+/// Addressing modes a broadcast pattern imposes on the two operands (the
+/// fusion pass reads elements through the same modes the eager loop uses).
+void fuse_addrs(BPat pat, index_t cols, fuse::Addr& aa, fuse::Addr& ab,
+                index_t& dcols) {
+  aa = fuse::Addr::kElem;
+  ab = fuse::Addr::kElem;
+  dcols = 0;
+  switch (pat) {
+    case BPat::kSame:
+      break;
+    case BPat::kAScalar:
+      aa = fuse::Addr::kScalar;
+      break;
+    case BPat::kBScalar:
+      ab = fuse::Addr::kScalar;
+      break;
+    case BPat::kARow:
+      aa = fuse::Addr::kRow;
+      dcols = cols;
+      break;
+    case BPat::kBRow:
+      ab = fuse::Addr::kRow;
+      dcols = cols;
+      break;
+    case BPat::kACol:
+      aa = fuse::Addr::kCol;
+      dcols = cols;
+      break;
+    case BPat::kBCol:
+      ab = fuse::Addr::kCol;
+      dcols = cols;
+      break;
+  }
+}
+
 template <class F>
-Tensor binary_kernel(const char* name, const Tensor& a, const Tensor& b,
-                     F f) {
+Tensor binary_kernel(const char* name, fuse::EOp eop, const Tensor& a,
+                     const Tensor& b, F f) {
   perf::count_kernel(name);
   Shape out_shape;
   const BPat pat = classify(a, b, out_shape);
@@ -142,10 +179,15 @@ Tensor binary_kernel(const char* name, const Tensor& a, const Tensor& b,
     const int sa = rec->note_input(a);
     const int sb = rec->note_input(b);
     const int so = rec->note_output(out);
-    rec->push(name, /*counted=*/true, {sa, sb}, so,
-              [pat, rows, cols, n, sa, sb, so, f](float* const* S) {
-                binary_loop(pat, rows, cols, n, S[sa], S[sb], S[so], f);
-              });
+    fuse::Addr aa, ab;
+    index_t dcols;
+    fuse_addrs(pat, cols, aa, ab, dcols);
+    rec->push(
+        name, /*counted=*/true, {sa, sb}, so,
+        [pat, rows, cols, n, sa, sb, so, f](float* const* S) {
+          binary_loop(pat, rows, cols, n, S[sa], S[sb], S[so], f);
+        },
+        fuse::ew_binary(eop, aa, ab, n, dcols));
   }
   return out;
 }
@@ -156,7 +198,8 @@ void unary_loop(index_t n, const float* px, float* po, F f) {
 }
 
 template <class F>
-Tensor unary_kernel(const char* name, const Tensor& x, F f) {
+Tensor unary_kernel(const char* name, fuse::EOp eop, const Tensor& x, F f,
+                    float s0 = 0.0f, float s1 = 0.0f) {
   perf::count_kernel(name);
   Tensor out = Tensor::empty(x.shape());
   const index_t n = x.numel();
@@ -164,10 +207,10 @@ Tensor unary_kernel(const char* name, const Tensor& x, F f) {
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(x);
     const int so = rec->note_output(out);
-    rec->push(name, /*counted=*/true, {sx}, so,
-              [n, sx, so, f](float* const* S) {
-                unary_loop(n, S[sx], S[so], f);
-              });
+    rec->push(
+        name, /*counted=*/true, {sx}, so,
+        [n, sx, so, f](float* const* S) { unary_loop(n, S[sx], S[so], f); },
+        fuse::ew_unary(eop, n, s0, s1));
   }
   return out;
 }
@@ -184,7 +227,7 @@ Var ones_like(const Var& x) { return constant(Tensor::ones(x.shape())); }
 // ---------------------------------------------------------------------------
 
 Var add(const Var& a, const Var& b) {
-  Tensor out = binary_kernel("add", a.value(), b.value(),
+  Tensor out = binary_kernel("add", fuse::EOp::kAdd, a.value(), b.value(),
                              [](float x, float y) { return x + y; });
   Shape sa = a.shape(), sb = b.shape();
   return make_op_node("add", std::move(out), {a, b},
@@ -194,7 +237,7 @@ Var add(const Var& a, const Var& b) {
 }
 
 Var sub(const Var& a, const Var& b) {
-  Tensor out = binary_kernel("sub", a.value(), b.value(),
+  Tensor out = binary_kernel("sub", fuse::EOp::kSub, a.value(), b.value(),
                              [](float x, float y) { return x - y; });
   Shape sa = a.shape(), sb = b.shape();
   return make_op_node("sub", std::move(out), {a, b},
@@ -204,7 +247,7 @@ Var sub(const Var& a, const Var& b) {
 }
 
 Var mul(const Var& a, const Var& b) {
-  Tensor out = binary_kernel("mul", a.value(), b.value(),
+  Tensor out = binary_kernel("mul", fuse::EOp::kMul, a.value(), b.value(),
                              [](float x, float y) { return x * y; });
   Shape sa = a.shape(), sb = b.shape();
   return make_op_node("mul", std::move(out), {a, b},
@@ -214,7 +257,7 @@ Var mul(const Var& a, const Var& b) {
 }
 
 Var div(const Var& a, const Var& b) {
-  Tensor out = binary_kernel("div", a.value(), b.value(),
+  Tensor out = binary_kernel("div", fuse::EOp::kDiv, a.value(), b.value(),
                              [](float x, float y) { return x / y; });
   Shape sa = a.shape(), sb = b.shape();
   Var result = make_op_node(
@@ -234,14 +277,16 @@ Var div(const Var& a, const Var& b) {
 
 Var add_scalar(const Var& x, float s) {
   Tensor out =
-      unary_kernel("add_scalar", x.value(), [s](float v) { return v + s; });
+      unary_kernel("add_scalar", fuse::EOp::kAddS, x.value(),
+                   [s](float v) { return v + s; }, s);
   return make_op_node("add_scalar", std::move(out), {x},
                       [](const Var& g) -> std::vector<Var> { return {g}; });
 }
 
 Var mul_scalar(const Var& x, float s) {
   Tensor out =
-      unary_kernel("mul_scalar", x.value(), [s](float v) { return v * s; });
+      unary_kernel("mul_scalar", fuse::EOp::kMulS, x.value(),
+                   [s](float v) { return v * s; }, s);
   return make_op_node("mul_scalar", std::move(out), {x},
                       [s](const Var& g) -> std::vector<Var> {
                         return {mul_scalar(g, s)};
@@ -249,8 +294,8 @@ Var mul_scalar(const Var& x, float s) {
 }
 
 Var pow_scalar(const Var& x, float p) {
-  Tensor out = unary_kernel("pow_scalar", x.value(),
-                            [p](float v) { return std::pow(v, p); });
+  Tensor out = unary_kernel("pow_scalar", fuse::EOp::kPowS, x.value(),
+                            [p](float v) { return std::pow(v, p); }, p);
   return make_op_node("pow_scalar", std::move(out), {x},
                       [x, p](const Var& g) -> std::vector<Var> {
                         return {mul(g, mul_scalar(pow_scalar(x, p - 1), p))};
@@ -262,7 +307,8 @@ Var pow_scalar(const Var& x, float p) {
 // ---------------------------------------------------------------------------
 
 Var neg(const Var& x) {
-  Tensor out = unary_kernel("neg", x.value(), [](float v) { return -v; });
+  Tensor out = unary_kernel("neg", fuse::EOp::kNeg, x.value(),
+                            [](float v) { return -v; });
   return make_op_node("neg", std::move(out), {x},
                       [](const Var& g) -> std::vector<Var> {
                         return {neg(g)};
@@ -271,7 +317,8 @@ Var neg(const Var& x) {
 
 Var exp_op(const Var& x) {
   Tensor out =
-      unary_kernel("exp", x.value(), [](float v) { return std::exp(v); });
+      unary_kernel("exp", fuse::EOp::kExp, x.value(),
+                   [](float v) { return std::exp(v); });
   Var y = make_op_node("exp", std::move(out), {x},
                        [x](const Var& g) -> std::vector<Var> {
                          return {mul(g, exp_op(x))};
@@ -281,7 +328,8 @@ Var exp_op(const Var& x) {
 
 Var log_op(const Var& x) {
   Tensor out =
-      unary_kernel("log", x.value(), [](float v) { return std::log(v); });
+      unary_kernel("log", fuse::EOp::kLog, x.value(),
+                   [](float v) { return std::log(v); });
   return make_op_node("log", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         return {div(g, x)};
@@ -290,7 +338,8 @@ Var log_op(const Var& x) {
 
 Var sqrt_op(const Var& x) {
   Tensor out =
-      unary_kernel("sqrt", x.value(), [](float v) { return std::sqrt(v); });
+      unary_kernel("sqrt", fuse::EOp::kSqrt, x.value(),
+                   [](float v) { return std::sqrt(v); });
   return make_op_node("sqrt", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         return {mul_scalar(div(g, sqrt_op(x)), 0.5f)};
@@ -299,7 +348,8 @@ Var sqrt_op(const Var& x) {
 
 Var sin_op(const Var& x) {
   Tensor out =
-      unary_kernel("sin", x.value(), [](float v) { return std::sin(v); });
+      unary_kernel("sin", fuse::EOp::kSin, x.value(),
+                   [](float v) { return std::sin(v); });
   return make_op_node("sin", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         return {mul(g, cos_op(x))};
@@ -308,7 +358,8 @@ Var sin_op(const Var& x) {
 
 Var cos_op(const Var& x) {
   Tensor out =
-      unary_kernel("cos", x.value(), [](float v) { return std::cos(v); });
+      unary_kernel("cos", fuse::EOp::kCos, x.value(),
+                   [](float v) { return std::cos(v); });
   return make_op_node("cos", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         return {neg(mul(g, sin_op(x)))};
@@ -317,7 +368,8 @@ Var cos_op(const Var& x) {
 
 Var acos_op(const Var& x) {
   Tensor out =
-      unary_kernel("acos", x.value(), [](float v) { return std::acos(v); });
+      unary_kernel("acos", fuse::EOp::kAcos, x.value(),
+                   [](float v) { return std::acos(v); });
   return make_op_node(
       "acos", std::move(out), {x}, [x](const Var& g) -> std::vector<Var> {
         // d/dx acos(x) = -1 / sqrt(1 - x^2)
@@ -328,7 +380,8 @@ Var acos_op(const Var& x) {
 
 Var tanh_op(const Var& x) {
   Tensor out =
-      unary_kernel("tanh", x.value(), [](float v) { return std::tanh(v); });
+      unary_kernel("tanh", fuse::EOp::kTanh, x.value(),
+                   [](float v) { return std::tanh(v); });
   return make_op_node("tanh", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         Var y = tanh_op(x);
@@ -337,7 +390,7 @@ Var tanh_op(const Var& x) {
 }
 
 Var sigmoid(const Var& x) {
-  Tensor out = unary_kernel("sigmoid", x.value(), [](float v) {
+  Tensor out = unary_kernel("sigmoid", fuse::EOp::kSigmoid, x.value(), [](float v) {
     return 1.0f / (1.0f + std::exp(-v));
   });
   return make_op_node("sigmoid", std::move(out), {x},
@@ -348,7 +401,7 @@ Var sigmoid(const Var& x) {
 }
 
 Var silu(const Var& x) {
-  Tensor out = unary_kernel("silu", x.value(), [](float v) {
+  Tensor out = unary_kernel("silu", fuse::EOp::kSilu, x.value(), [](float v) {
     return v / (1.0f + std::exp(-v));
   });
   return make_op_node(
@@ -362,10 +415,11 @@ Var silu(const Var& x) {
 
 Var abs_op(const Var& x) {
   Tensor out =
-      unary_kernel("abs", x.value(), [](float v) { return std::fabs(v); });
+      unary_kernel("abs", fuse::EOp::kAbs, x.value(),
+                   [](float v) { return std::fabs(v); });
   // sign(x) treated as a constant: correct almost everywhere and keeps
   // grad-of-grad well defined.
-  Tensor sign = unary_kernel("sign", x.value(), [](float v) {
+  Tensor sign = unary_kernel("sign", fuse::EOp::kSign, x.value(), [](float v) {
     return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
   });
   Var sign_c = constant(std::move(sign));
@@ -376,7 +430,7 @@ Var abs_op(const Var& x) {
 }
 
 Var reciprocal(const Var& x) {
-  Tensor out = unary_kernel("reciprocal", x.value(),
+  Tensor out = unary_kernel("reciprocal", fuse::EOp::kRecip, x.value(),
                             [](float v) { return 1.0f / v; });
   return make_op_node("reciprocal", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
@@ -387,7 +441,8 @@ Var reciprocal(const Var& x) {
 
 Var square(const Var& x) {
   Tensor out =
-      unary_kernel("square", x.value(), [](float v) { return v * v; });
+      unary_kernel("square", fuse::EOp::kSquare, x.value(),
+                   [](float v) { return v * v; });
   return make_op_node("square", std::move(out), {x},
                       [x](const Var& g) -> std::vector<Var> {
                         return {mul_scalar(mul(g, x), 2.0f)};
@@ -395,12 +450,13 @@ Var square(const Var& x) {
 }
 
 Var clamp(const Var& x, float lo, float hi) {
-  Tensor out = unary_kernel("clamp", x.value(), [lo, hi](float v) {
-    return v < lo ? lo : (v > hi ? hi : v);
-  });
-  Tensor mask = unary_kernel("clamp_mask", x.value(), [lo, hi](float v) {
-    return (v >= lo && v <= hi) ? 1.0f : 0.0f;
-  });
+  Tensor out = unary_kernel(
+      "clamp", fuse::EOp::kClamp, x.value(),
+      [lo, hi](float v) { return v < lo ? lo : (v > hi ? hi : v); }, lo, hi);
+  Tensor mask = unary_kernel(
+      "clamp_mask", fuse::EOp::kClampMask, x.value(),
+      [lo, hi](float v) { return (v >= lo && v <= hi) ? 1.0f : 0.0f; }, lo,
+      hi);
   Var mask_c = constant(std::move(mask));
   return make_op_node("clamp", std::move(out), {x},
                       [mask_c](const Var& g) -> std::vector<Var> {
@@ -516,10 +572,10 @@ Var sum_all(const Var& x) {
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(x.value());
     const int so = rec->note_output(out);
-    rec->push("sum_all", /*counted=*/true, {sx}, so,
-              [n, sx, so](float* const* S) {
-                sum_all_loop(n, S[sx], S[so]);
-              });
+    rec->push(
+        "sum_all", /*counted=*/true, {sx}, so,
+        [n, sx, so](float* const* S) { sum_all_loop(n, S[sx], S[so]); },
+        fuse::reduce_desc(fuse::EOp::kSumAll, n, 0));
   }
   Shape sx = x.shape();
   return make_op_node("sum_all", std::move(out), {x},
@@ -558,10 +614,14 @@ Var sum_dim(const Var& x, index_t dim, bool keepdim) {
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(x.value());
     const int so = rec->note_output(out);
-    rec->push("sum_dim", /*counted=*/true, {sx}, so,
-              [dim, rows, cols, sx, so](float* const* S) {
-                sum_dim_loop(dim, rows, cols, S[sx], S[so]);
-              });
+    rec->push(
+        "sum_dim", /*counted=*/true, {sx}, so,
+        [dim, rows, cols, sx, so](float* const* S) {
+          sum_dim_loop(dim, rows, cols, S[sx], S[so]);
+        },
+        fuse::reduce_desc(
+            dim == 0 ? fuse::EOp::kSumDim0 : fuse::EOp::kSumDim1,
+            rows * cols, cols));
   }
   Shape sx = x.shape();
   Shape mid = (dim == 0) ? Shape{1, cols} : Shape{rows, 1};
@@ -632,10 +692,16 @@ Var broadcast_to(const Var& x, const Shape& shape) {
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(xv);
     const int so = rec->note_output(out);
-    rec->push("broadcast", /*counted=*/true, {sx}, so,
-              [mode, rows, cols, n, sx, so](float* const* S) {
-                broadcast_loop(mode, rows, cols, n, S[sx], S[so]);
-              });
+    const fuse::Addr ba = mode == BMode::kFill
+                              ? fuse::Addr::kScalar
+                              : (mode == BMode::kRow ? fuse::Addr::kRow
+                                                     : fuse::Addr::kCol);
+    rec->push(
+        "broadcast", /*counted=*/true, {sx}, so,
+        [mode, rows, cols, n, sx, so](float* const* S) {
+          broadcast_loop(mode, rows, cols, n, S[sx], S[so]);
+        },
+        fuse::ew_broadcast(ba, n, mode == BMode::kFill ? 0 : cols));
   }
   Shape sx = x.shape();
   return make_op_node("broadcast", std::move(out), {x},
@@ -714,10 +780,12 @@ Var index_select0(const Var& x, std::vector<index_t> idx) {
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(xv);
     const int so = rec->note_output(out);
-    rec->push("index_select", /*counted=*/true, {sx}, so,
-              [idx_sp, rows, w, sx, so](float* const* S) {
-                index_select_loop(*idx_sp, rows, w, S[sx], S[so]);
-              });
+    rec->push(
+        "index_select", /*counted=*/true, {sx}, so,
+        [idx_sp, rows, w, sx, so](float* const* S) {
+          index_select_loop(*idx_sp, rows, w, S[sx], S[so]);
+        },
+        fuse::gather_desc(idx_sp, rows, w));
   }
   return make_op_node("index_select", std::move(out), {x},
                       [idx_sp, rows](const Var& g) -> std::vector<Var> {
@@ -740,10 +808,12 @@ Var index_add0(index_t rows, std::vector<index_t> idx, const Var& src) {
   if (auto* rec = replay::Recorder::active()) {
     const int ss = rec->note_input(sv);
     const int so = rec->note_output(out);
-    rec->push("index_add", /*counted=*/true, {ss}, so,
-              [idx_sp, rows, w, ss, so](float* const* S) {
-                index_add_loop(*idx_sp, rows, w, S[ss], S[so]);
-              });
+    rec->push(
+        "index_add", /*counted=*/true, {ss}, so,
+        [idx_sp, rows, w, ss, so](float* const* S) {
+          index_add_loop(*idx_sp, rows, w, S[ss], S[so]);
+        },
+        fuse::scatter_desc(idx_sp, rows, w));
   }
   return make_op_node("index_add", std::move(out), {src},
                       [idx_sp](const Var& g) -> std::vector<Var> {

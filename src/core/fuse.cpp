@@ -1,0 +1,1050 @@
+#include "core/fuse.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace fastchg::replay::fuse {
+
+namespace {
+
+bool env_fuse_default() {
+  const char* v = std::getenv("FASTCHG_FUSE");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& fuse_flag() {
+  static std::atomic<bool> on{env_fuse_default()};
+  return on;
+}
+
+}  // namespace
+
+bool fuse_enabled() { return fuse_flag().load(std::memory_order_relaxed); }
+
+void set_fuse_enabled(bool on) {
+  fuse_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor builders
+
+StepDesc ew_unary(EOp op, index_t n, float s0, float s1) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kEltwise;
+  d.ew.op = op;
+  d.ew.s0 = s0;
+  d.ew.s1 = s1;
+  d.ew.a = Addr::kElem;
+  d.ew.n = n;
+  return d;
+}
+
+StepDesc ew_binary(EOp op, Addr a, Addr b, index_t n, index_t cols) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kEltwise;
+  d.ew.op = op;
+  d.ew.a = a;
+  d.ew.b = b;
+  d.ew.n = n;
+  d.ew.cols = cols;
+  return d;
+}
+
+StepDesc ew_broadcast(Addr a, index_t n, index_t cols) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kEltwise;
+  d.ew.op = EOp::kCopy;
+  d.ew.a = a;
+  d.ew.n = n;
+  d.ew.cols = cols;
+  return d;
+}
+
+StepDesc ew_accum(index_t n) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kEltwise;
+  d.ew.op = EOp::kAccum;
+  d.ew.a = Addr::kElem;
+  d.ew.n = n;
+  return d;
+}
+
+StepDesc gather_desc(std::shared_ptr<const std::vector<index_t>> idx,
+                     index_t src_rows, index_t w) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kGather;
+  d.index.idx = std::move(idx);
+  d.index.rows = src_rows;
+  d.index.w = w;
+  return d;
+}
+
+StepDesc scatter_desc(std::shared_ptr<const std::vector<index_t>> idx,
+                      index_t dst_rows, index_t w) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kScatter;
+  d.index.idx = std::move(idx);
+  d.index.rows = dst_rows;
+  d.index.w = w;
+  return d;
+}
+
+StepDesc reduce_desc(EOp op, index_t n, index_t cols) {
+  StepDesc d;
+  d.kind = StepDesc::Kind::kReduce;
+  d.ew.op = op;
+  d.ew.n = n;
+  d.ew.cols = cols;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Per-element evaluator: each case is byte-for-byte the eager lambda from
+// autograd/ops.cpp.  Differential tests (test_fuse.cpp) pin this.
+
+float eval_ew(EOp op, float a, float b, float s0, float s1) {
+  switch (op) {
+    case EOp::kCopy:
+      return a;
+    case EOp::kAdd:
+      return a + b;
+    case EOp::kSub:
+      return a - b;
+    case EOp::kMul:
+      return a * b;
+    case EOp::kDiv:
+      return a / b;
+    case EOp::kAddS:
+      return a + s0;
+    case EOp::kMulS:
+      return a * s0;
+    case EOp::kPowS:
+      return std::pow(a, s0);
+    case EOp::kNeg:
+      return -a;
+    case EOp::kExp:
+      return std::exp(a);
+    case EOp::kLog:
+      return std::log(a);
+    case EOp::kSqrt:
+      return std::sqrt(a);
+    case EOp::kSin:
+      return std::sin(a);
+    case EOp::kCos:
+      return std::cos(a);
+    case EOp::kAcos:
+      return std::acos(a);
+    case EOp::kTanh:
+      return std::tanh(a);
+    case EOp::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-a));
+    case EOp::kSilu:
+      return a / (1.0f + std::exp(-a));
+    case EOp::kAbs:
+      return std::fabs(a);
+    case EOp::kSign:
+      return a > 0.0f ? 1.0f : (a < 0.0f ? -1.0f : 0.0f);
+    case EOp::kRecip:
+      return 1.0f / a;
+    case EOp::kSquare:
+      return a * a;
+    case EOp::kClamp:
+      return a < s0 ? s0 : (a > s1 ? s1 : a);
+    case EOp::kClampMask:
+      return (a >= s0 && a <= s1) ? 1.0f : 0.0f;
+    case EOp::kAccum:
+    case EOp::kSumAll:
+    case EOp::kSumDim0:
+    case EOp::kSumDim1:
+      break;  // store/reduce micro-ops; handled by the span runner
+  }
+  FASTCHG_CHECK(false, "fuse: eval_ew on non-value op");
+}
+
+// ---------------------------------------------------------------------------
+// Span analysis (the legality checker)
+
+namespace {
+
+/// One micro-op of a compiled span.  Operands read either a span register
+/// (per-element value of an earlier micro) or an external slot through an
+/// addressing mode; stores go to slab/baked slots.
+struct Micro {
+  EOp op = EOp::kCopy;
+  float s0 = 0.0f, s1 = 0.0f;
+  int areg = -1, breg = -1;
+  int aslot = -1, bslot = -1;
+  Addr aaddr = Addr::kNone, baddr = Addr::kNone;
+  bool gather_load = false;  ///< a = src[idx[r]*w + c]
+  int reg = -1;              ///< register written (value-producing micros)
+  int store = -1;            ///< slot written (or -1)
+  // 0 = no store, 1 = elementwise store, 2 = accumulate (+=),
+  // 3 = scatter-add, 4 = reduction
+  std::uint8_t skind = 0;
+  std::shared_ptr<const std::vector<index_t>> idx;  ///< gather/scatter rows
+  index_t w = 1;
+};
+
+struct Kern {
+  index_t n = 0;
+  index_t cols = 0;  ///< 0 = flat iteration
+  std::vector<Micro> ops;
+  std::vector<std::pair<int, std::size_t>> zeros;  ///< memset before the loop
+  bool sum_all_tail = false;                       ///< final scalar store
+};
+
+/// Incremental state while growing a candidate span.
+struct SpanState {
+  index_t n = 0;
+  index_t cols = 0;  ///< merged geometry constraint (0 = unconstrained)
+  int counted = 0;
+  std::unordered_map<int, int> reg_of;      ///< slot -> producing micro
+  std::unordered_map<int, bool> elem_read;  ///< slot -> all reads kElem
+  // slot -> write kind: 1 elementwise (store/accum/reduce), 3 scatter
+  std::unordered_map<int, std::uint8_t> writes;
+  std::vector<Micro> micros;
+  bool terminated = false;
+};
+
+bool merge_cols(SpanState& st, index_t cols) {
+  if (cols <= 0) return true;
+  if (st.cols == 0) {
+    if (st.n % cols != 0) return false;
+    st.cols = cols;
+    return true;
+  }
+  return st.cols == cols;
+}
+
+/// Register an external read of `slot` with addressing `ad`.  Fails when
+/// the slot is already written in-span by anything but an elementwise
+/// store read back elementwise.
+bool note_ext_read(SpanState& st, int slot, Addr ad) {
+  auto w = st.writes.find(slot);
+  if (w != st.writes.end()) {
+    if (w->second != 1 || ad != Addr::kElem) return false;
+  }
+  auto it = st.elem_read.find(slot);
+  const bool elem = ad == Addr::kElem;
+  if (it == st.elem_read.end()) {
+    st.elem_read.emplace(slot, elem);
+  } else {
+    it->second = it->second && elem;
+  }
+  return true;
+}
+
+/// Register an in-span write of `slot` (`kind` 1 elementwise, 3 scatter).
+/// Fails on hazards with earlier reads/writes of the same slot.
+bool note_write(SpanState& st, int slot, std::uint8_t kind, bool allow_rmw) {
+  auto r = st.elem_read.find(slot);
+  if (r != st.elem_read.end() && (kind != 1 || !r->second)) return false;
+  auto w = st.writes.find(slot);
+  if (w != st.writes.end()) {
+    // Multiple elementwise writers (repeated grad accumulation into one
+    // accumulator) preserve per-element order; anything else is a hazard.
+    if (!(allow_rmw && w->second == 1 && kind == 1)) return false;
+    return true;
+  }
+  st.writes.emplace(slot, kind);
+  return true;
+}
+
+/// Resolve an operand (register ref when the slot was produced in-span,
+/// external slot read otherwise).  In-span refs must be elementwise.
+bool resolve_operand(SpanState& st, int slot, Addr ad, int& reg_out,
+                     int& slot_out) {
+  auto it = st.reg_of.find(slot);
+  if (it != st.reg_of.end()) {
+    if (ad != Addr::kElem) return false;
+    reg_out = it->second;
+    slot_out = -1;
+    return true;
+  }
+  if (!note_ext_read(st, slot, ad)) return false;
+  reg_out = -1;
+  slot_out = slot;
+  return true;
+}
+
+/// Try to admit step `s` into the span.  Returns false (state possibly
+/// half-advanced -- callers only use the state of *successful* spans, a
+/// failed admit discards it) when the step would make the span illegal.
+bool admit(SpanState& st, const TapeStep& s,
+           const std::vector<TapeSlot>& slots) {
+  if (static_cast<int>(st.micros.size()) >= kMaxSpanOps) return false;
+  if (st.terminated) return false;
+  const StepDesc& d = s.desc;
+  Micro m;
+  switch (d.kind) {
+    case StepDesc::Kind::kOpaque:
+      return false;
+
+    case StepDesc::Kind::kEltwise: {
+      if (d.ew.n <= 0) return false;
+      if (st.micros.empty()) st.n = d.ew.n;
+      if (d.ew.n != st.n) return false;
+      if (!merge_cols(st, d.ew.cols)) return false;
+      m.op = d.ew.op;
+      m.s0 = d.ew.s0;
+      m.s1 = d.ew.s1;
+      if (d.ew.op == EOp::kAccum) {
+        // ins = {dst, src}, outs = {dst}: dst += src elementwise.
+        if (s.ins.size() != 2 || s.outs.size() != 1) return false;
+        const int dst = s.outs[0];
+        if (!resolve_operand(st, s.ins[1], Addr::kElem, m.areg, m.aslot))
+          return false;
+        m.aaddr = Addr::kElem;
+        if (!note_ext_read(st, dst, Addr::kElem)) return false;
+        if (!note_write(st, dst, 1, /*allow_rmw=*/true)) return false;
+        m.store = dst;
+        m.skind = 2;
+      } else {
+        if (s.ins.empty() || s.outs.size() != 1) return false;
+        if (d.ew.a == Addr::kNone) return false;
+        if (!resolve_operand(st, s.ins[0], d.ew.a, m.areg, m.aslot))
+          return false;
+        m.aaddr = d.ew.a;
+        if (d.ew.b != Addr::kNone) {
+          if (s.ins.size() != 2) return false;
+          if (!resolve_operand(st, s.ins[1], d.ew.b, m.breg, m.bslot))
+            return false;
+          m.baddr = d.ew.b;
+        }
+        const int out = s.outs[0];
+        if (!slots[static_cast<std::size_t>(out)].planned) return false;
+        if (!note_write(st, out, 1, /*allow_rmw=*/false)) return false;
+        m.reg = static_cast<int>(st.micros.size());
+        st.reg_of.emplace(out, m.reg);
+      }
+      break;
+    }
+
+    case StepDesc::Kind::kGather: {
+      if (s.ins.size() != 1 || s.outs.size() != 1 || !d.index.idx)
+        return false;
+      const int src = s.ins[0];
+      const int out = s.outs[0];
+      if (st.reg_of.count(src)) return false;  // source must be external
+      const index_t k = static_cast<index_t>(d.index.idx->size());
+      const index_t n = k * d.index.w;
+      if (st.micros.empty()) st.n = n;
+      if (n != st.n) return false;
+      if (!merge_cols(st, d.index.w > 1 ? d.index.w : 1)) return false;
+      // Arbitrary-row read: poisons elementwise-only status for hazards.
+      if (st.writes.count(src)) return false;
+      auto it = st.elem_read.find(src);
+      if (it == st.elem_read.end()) {
+        st.elem_read.emplace(src, false);
+      } else {
+        it->second = false;
+      }
+      if (!slots[static_cast<std::size_t>(out)].planned) return false;
+      if (!note_write(st, out, 1, /*allow_rmw=*/false)) return false;
+      m.gather_load = true;
+      m.aslot = src;
+      m.idx = d.index.idx;
+      m.w = d.index.w;
+      m.reg = static_cast<int>(st.micros.size());
+      st.reg_of.emplace(out, m.reg);
+      break;
+    }
+
+    case StepDesc::Kind::kScatter: {
+      if (s.ins.size() != 1 || s.outs.size() != 1 || !d.index.idx)
+        return false;
+      if (st.micros.empty()) return false;  // only as an epilogue
+      const int src = s.ins[0];
+      const int out = s.outs[0];
+      const index_t k = static_cast<index_t>(d.index.idx->size());
+      if (k * d.index.w != st.n) return false;
+      if (!merge_cols(st, d.index.w > 1 ? d.index.w : 1)) return false;
+      if (!resolve_operand(st, src, Addr::kElem, m.areg, m.aslot))
+        return false;
+      m.aaddr = Addr::kElem;
+      if (st.elem_read.count(out)) return false;
+      if (!note_write(st, out, 3, /*allow_rmw=*/false)) return false;
+      m.store = out;
+      m.skind = 3;
+      m.idx = d.index.idx;
+      m.w = d.index.w;
+      st.terminated = true;
+      break;
+    }
+
+    case StepDesc::Kind::kReduce: {
+      if (s.ins.size() != 1 || s.outs.size() != 1) return false;
+      if (st.micros.empty()) return false;  // only as an epilogue
+      if (d.ew.n != st.n) return false;
+      if (d.ew.op == EOp::kSumDim0 || d.ew.op == EOp::kSumDim1) {
+        if (!merge_cols(st, d.ew.cols)) return false;
+      }
+      if (!resolve_operand(st, s.ins[0], Addr::kElem, m.areg, m.aslot))
+        return false;
+      m.aaddr = Addr::kElem;
+      const int out = s.outs[0];
+      if (st.elem_read.count(out) || st.writes.count(out)) return false;
+      st.writes.emplace(out, 3);  // non-elementwise write pattern
+      m.op = d.ew.op;
+      m.store = out;
+      m.skind = 4;
+      st.terminated = true;
+      break;
+    }
+  }
+  if (s.counted) ++st.counted;
+  st.micros.push_back(std::move(m));
+  return true;
+}
+
+/// Grow the longest legal span starting at `begin`.  Returns its state and
+/// sets `end` one past the last admitted step; a span shorter than two
+/// steps is reported as empty (end == begin).
+SpanState grow_span(const std::vector<TapeStep>& steps,
+                    const std::vector<TapeSlot>& slots, int begin, int& end) {
+  SpanState st;
+  int j = begin;
+  const int limit = static_cast<int>(steps.size());
+  while (j < limit) {
+    SpanState trial = st;  // admit() may half-advance on failure
+    if (!admit(trial, steps[static_cast<std::size_t>(j)], slots)) break;
+    st = std::move(trial);
+    ++j;
+    if (st.terminated) break;
+  }
+  if (j - begin < 2) {
+    end = begin;
+    return SpanState{};
+  }
+  end = j;
+  return st;
+}
+
+}  // namespace
+
+std::vector<Span> find_spans(const std::vector<TapeStep>& steps,
+                             const std::vector<TapeSlot>& slots) {
+  std::vector<Span> spans;
+  int i = 0;
+  const int limit = static_cast<int>(steps.size());
+  while (i < limit) {
+    int end = i;
+    const SpanState st = grow_span(steps, slots, i, end);
+    if (end > i) {
+      spans.push_back(Span{i, end, st.counted});
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// Span compilation and execution
+
+namespace {
+
+/// Block width of the vectorized span interpreter.  Spans execute in
+/// row-aligned chunks of at most kBlock elements: short rows are batched
+/// RR = kBlock/C whole rows to a chunk (feature rows of width 16..64 are
+/// the common case -- per-row chunks would leave every op loop too short
+/// to amortize the micro dispatch), long rows split at column boundaries.
+/// Within a chunk every operand collapses to a contiguous pointer (kElem,
+/// in-span registers), a broadcast tile (kRow/kCol across batched rows),
+/// or one scalar, so each micro runs as a tight per-op loop the compiler
+/// can vectorize -- the op switch sits outside the element loop.
+/// Elementwise micros are pure per element, so interchanging the
+/// micro/element loops at chunk granularity cannot change any value;
+/// reductions and scatters still visit elements in exactly the eager
+/// order (chunks advance r-major, rows inside a chunk run in order).
+constexpr index_t kBlock = 256;
+
+/// Resolve one operand of `m` for the chunk of RR rows starting at row
+/// r0, flat offset i0, column offset c0 (nonzero only when RR == 1 and
+/// the row is split), L elements total.  Returns L contiguous values;
+/// kRow/kCol broadcasts stage through `tmp`.
+inline const float* chunk_operand(const Micro& m, bool b, float* const* S,
+                                  const float* const* regptr, float* tmp,
+                                  index_t r0, index_t c0, index_t i0,
+                                  index_t L, index_t C, index_t RR) {
+  const int reg = b ? m.breg : m.areg;
+  if (reg >= 0) return regptr[reg];
+  const float* p = S[b ? m.bslot : m.aslot];
+  switch (b ? m.baddr : m.aaddr) {
+    case Addr::kElem:
+      return p + i0;
+    case Addr::kRow:
+      if (RR == 1) return p + c0;  // single (possibly split) row
+      for (index_t rr = 0; rr < RR; ++rr) {
+        std::memcpy(tmp + rr * C, p, static_cast<std::size_t>(C) * 4);
+      }
+      return tmp;
+    case Addr::kScalar: {
+      const float v = p[0];
+      for (index_t j = 0; j < L; ++j) tmp[j] = v;
+      return tmp;
+    }
+    case Addr::kCol: {
+      if (RR == 1) {
+        const float v = p[r0];
+        for (index_t j = 0; j < L; ++j) tmp[j] = v;
+        return tmp;
+      }
+      for (index_t rr = 0; rr < RR; ++rr) {
+        const float v = p[r0 + rr];
+        for (index_t j = 0; j < C; ++j) tmp[rr * C + j] = v;
+      }
+      return tmp;
+    }
+    case Addr::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+void run_span(const Kern& K, float* const* S) {
+  for (const auto& [slot, bytes] : K.zeros) {
+    std::memset(S[slot], 0, bytes);
+  }
+  // Geometry: row length C (flat spans run as one row), rows R.  Row/col
+  // operands only occur when a cols constraint was merged, so the flat
+  // C = n case never sees kRow/kCol addressing.
+  const index_t C = K.cols > 1 ? K.cols : K.n;
+  const index_t R = C > 0 ? K.n / C : 0;
+  const bool colchunk = C > kBlock;  // rows split at column boundaries
+  float regs[kMaxSpanOps][kBlock];
+  // Where each micro's chunk values live: escaping values are computed
+  // straight into their slab slot (no copy-out pass), eliminated ones into
+  // the stack register file; consumers read through this table either way.
+  const float* regptr[kMaxSpanOps];
+  float ta[kBlock], tb[kBlock];
+  double acc = 0.0;
+  const Micro* ops = K.ops.data();
+  const std::size_t nops = K.ops.size();
+  for (index_t i0 = 0; i0 < K.n;) {
+    const index_t r0 = i0 / C;
+    const index_t c0 = i0 - r0 * C;
+    const index_t RR =
+        colchunk ? 1
+                 : (kBlock / C < R - r0 ? kBlock / C : R - r0);
+    const index_t L = colchunk
+                          ? (C - c0 < kBlock ? C - c0 : kBlock)
+                          : RR * C;
+    {
+      for (std::size_t k = 0; k < nops; ++k) {
+        const Micro& m = ops[k];
+        if (m.gather_load) {
+          const float* src = S[m.aslot];
+          if (m.w > 1) {
+            // Wide gather (cols == w): each source row segment is
+            // contiguous.  Single-row chunks alias the source in place --
+            // no copy unless the output escapes; batched rows gather into
+            // the register tile (or straight into the slab slot).
+            if (RR == 1) {
+              const float* sp =
+                  src + (*m.idx)[static_cast<std::size_t>(r0)] * m.w + c0;
+              if (m.skind == 1) {
+                float* o = S[m.store] + i0;
+                for (index_t j = 0; j < L; ++j) o[j] = sp[j];
+                regptr[m.reg] = o;
+              } else {
+                regptr[m.reg] = sp;
+              }
+            } else {
+              float* o = m.skind == 1 ? S[m.store] + i0 : regs[m.reg];
+              for (index_t rr = 0; rr < RR; ++rr) {
+                const float* sp =
+                    src +
+                    (*m.idx)[static_cast<std::size_t>(r0 + rr)] * m.w;
+                std::memcpy(o + rr * C, sp,
+                            static_cast<std::size_t>(C) * 4);
+              }
+              regptr[m.reg] = o;
+            }
+          } else {
+            // Scalar gather (w == 1): element index == row index.
+            float* o = m.skind == 1 ? S[m.store] + i0 : regs[m.reg];
+            const index_t* ix = m.idx->data() + i0;
+            for (index_t j = 0; j < L; ++j) o[j] = src[ix[j]];
+            regptr[m.reg] = o;
+          }
+          continue;
+        }
+        switch (m.skind) {
+          case 0:
+          case 1: {
+            float* o = m.skind == 1 ? S[m.store] + i0 : regs[m.reg];
+            regptr[m.reg] = o;
+            // Chunk-constant operands (kScalar always; kCol only in
+            // single-row chunks) feed the four arithmetic ops and copy
+            // directly, skipping the ta/tb broadcast staging pass.  The
+            // per-element float expressions are unchanged.
+            const bool asc =
+                m.areg < 0 &&
+                (m.aaddr == Addr::kScalar ||
+                 (m.aaddr == Addr::kCol && RR == 1));
+            const bool bsc =
+                m.breg < 0 &&
+                (m.baddr == Addr::kScalar ||
+                 (m.baddr == Addr::kCol && RR == 1));
+            if (bsc && !asc &&
+                (m.op == EOp::kAdd || m.op == EOp::kSub ||
+                 m.op == EOp::kMul || m.op == EOp::kDiv)) {
+              const float vb =
+                  S[m.bslot][m.baddr == Addr::kScalar ? 0 : r0];
+              const float* pa2 = chunk_operand(m, false, S, regptr, ta, r0,
+                                               c0, i0, L, C, RR);
+              switch (m.op) {
+                case EOp::kAdd:
+                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] + vb;
+                  break;
+                case EOp::kSub:
+                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] - vb;
+                  break;
+                case EOp::kMul:
+                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] * vb;
+                  break;
+                default:
+                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] / vb;
+                  break;
+              }
+              break;
+            }
+            // Row/col-broadcast operands in multi-row chunks: per-row
+            // loops straight on the source row, skipping the tile staging
+            // pass through ta/tb.  Element expressions are unchanged --
+            // only the iteration is regrouped row by row, in order.
+            if (RR > 1 &&
+                (m.op == EOp::kAdd || m.op == EOp::kSub ||
+                 m.op == EOp::kMul || m.op == EOp::kDiv)) {
+              const bool abc = m.areg < 0 && (m.aaddr == Addr::kRow ||
+                                              m.aaddr == Addr::kCol);
+              const bool bbc = m.breg < 0 && (m.baddr == Addr::kRow ||
+                                              m.baddr == Addr::kCol);
+              if (bbc && !abc && !asc) {
+                const float* pa = chunk_operand(m, false, S, regptr, ta, r0,
+                                                c0, i0, L, C, RR);
+                const float* q = S[m.bslot];
+                const bool row = m.baddr == Addr::kRow;
+                for (index_t rr = 0; rr < RR; ++rr) {
+                  const float* s = pa + rr * C;
+                  float* d = o + rr * C;
+                  if (row) {
+                    switch (m.op) {
+                      case EOp::kAdd:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] + q[j];
+                        break;
+                      case EOp::kSub:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] - q[j];
+                        break;
+                      case EOp::kMul:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] * q[j];
+                        break;
+                      default:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] / q[j];
+                        break;
+                    }
+                  } else {
+                    const float v = q[r0 + rr];
+                    switch (m.op) {
+                      case EOp::kAdd:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] + v;
+                        break;
+                      case EOp::kSub:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] - v;
+                        break;
+                      case EOp::kMul:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] * v;
+                        break;
+                      default:
+                        for (index_t j = 0; j < C; ++j) d[j] = s[j] / v;
+                        break;
+                    }
+                  }
+                }
+                break;
+              }
+              if (abc && !bbc && !bsc &&
+                  (m.breg >= 0 || m.baddr == Addr::kElem)) {
+                const float* pb = chunk_operand(m, true, S, regptr, tb, r0,
+                                                c0, i0, L, C, RR);
+                const float* q = S[m.aslot];
+                const bool row = m.aaddr == Addr::kRow;
+                for (index_t rr = 0; rr < RR; ++rr) {
+                  const float* s = pb + rr * C;
+                  float* d = o + rr * C;
+                  if (row) {
+                    switch (m.op) {
+                      case EOp::kAdd:
+                        for (index_t j = 0; j < C; ++j) d[j] = q[j] + s[j];
+                        break;
+                      case EOp::kSub:
+                        for (index_t j = 0; j < C; ++j) d[j] = q[j] - s[j];
+                        break;
+                      case EOp::kMul:
+                        for (index_t j = 0; j < C; ++j) d[j] = q[j] * s[j];
+                        break;
+                      default:
+                        for (index_t j = 0; j < C; ++j) d[j] = q[j] / s[j];
+                        break;
+                    }
+                  } else {
+                    const float v = q[r0 + rr];
+                    switch (m.op) {
+                      case EOp::kAdd:
+                        for (index_t j = 0; j < C; ++j) d[j] = v + s[j];
+                        break;
+                      case EOp::kSub:
+                        for (index_t j = 0; j < C; ++j) d[j] = v - s[j];
+                        break;
+                      case EOp::kMul:
+                        for (index_t j = 0; j < C; ++j) d[j] = v * s[j];
+                        break;
+                      default:
+                        for (index_t j = 0; j < C; ++j) d[j] = v / s[j];
+                        break;
+                    }
+                  }
+                }
+                break;
+              }
+            }
+            if (RR > 1 && m.op == EOp::kCopy && m.areg < 0 &&
+                m.aaddr == Addr::kRow) {
+              // Row broadcast materialization: straight per-row copies.
+              const float* q = S[m.aslot];
+              for (index_t rr = 0; rr < RR; ++rr) {
+                std::memcpy(o + rr * C, q,
+                            static_cast<std::size_t>(C) * 4);
+              }
+              break;
+            }
+            const float* pa =
+                asc ? nullptr
+                    : chunk_operand(m, false, S, regptr, ta, r0, c0, i0, L,
+                                    C, RR);
+            if (asc && !bsc) {
+              const float va =
+                  S[m.aslot][m.aaddr == Addr::kScalar ? 0 : r0];
+              if (m.op == EOp::kCopy) {
+                for (index_t j = 0; j < L; ++j) o[j] = va;
+                break;
+              }
+              if (m.op == EOp::kAdd || m.op == EOp::kSub ||
+                  m.op == EOp::kMul || m.op == EOp::kDiv) {
+                const float* pb2 = chunk_operand(m, true, S, regptr, tb, r0,
+                                                 c0, i0, L, C, RR);
+                switch (m.op) {
+                  case EOp::kAdd:
+                    for (index_t j = 0; j < L; ++j) o[j] = va + pb2[j];
+                    break;
+                  case EOp::kSub:
+                    for (index_t j = 0; j < L; ++j) o[j] = va - pb2[j];
+                    break;
+                  case EOp::kMul:
+                    for (index_t j = 0; j < L; ++j) o[j] = va * pb2[j];
+                    break;
+                  default:
+                    for (index_t j = 0; j < L; ++j) o[j] = va / pb2[j];
+                    break;
+                }
+                break;
+              }
+            }
+            const float* pb =
+                m.breg >= 0 || m.baddr != Addr::kNone
+                    ? chunk_operand(m, true, S, regptr, tb, r0, c0, i0, L,
+                                    C, RR)
+                    : nullptr;
+            // Each loop body is byte-for-byte the eager lambda from
+            // autograd/ops.cpp (eval_ew pins the correspondence).
+            switch (m.op) {
+              case EOp::kCopy:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j];
+                break;
+              case EOp::kAdd:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] + pb[j];
+                break;
+              case EOp::kSub:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] - pb[j];
+                break;
+              case EOp::kMul:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * pb[j];
+                break;
+              case EOp::kDiv:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] / pb[j];
+                break;
+              case EOp::kAddS:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] + m.s0;
+                break;
+              case EOp::kMulS:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * m.s0;
+                break;
+              case EOp::kPowS:
+                for (index_t j = 0; j < L; ++j) o[j] = std::pow(pa[j], m.s0);
+                break;
+              case EOp::kNeg:
+                for (index_t j = 0; j < L; ++j) o[j] = -pa[j];
+                break;
+              case EOp::kExp:
+                for (index_t j = 0; j < L; ++j) o[j] = std::exp(pa[j]);
+                break;
+              case EOp::kLog:
+                for (index_t j = 0; j < L; ++j) o[j] = std::log(pa[j]);
+                break;
+              case EOp::kSqrt:
+                for (index_t j = 0; j < L; ++j) o[j] = std::sqrt(pa[j]);
+                break;
+              case EOp::kSin:
+                for (index_t j = 0; j < L; ++j) o[j] = std::sin(pa[j]);
+                break;
+              case EOp::kCos:
+                for (index_t j = 0; j < L; ++j) o[j] = std::cos(pa[j]);
+                break;
+              case EOp::kAcos:
+                for (index_t j = 0; j < L; ++j) o[j] = std::acos(pa[j]);
+                break;
+              case EOp::kTanh:
+                for (index_t j = 0; j < L; ++j) o[j] = std::tanh(pa[j]);
+                break;
+              case EOp::kSigmoid:
+                for (index_t j = 0; j < L; ++j) {
+                  o[j] = 1.0f / (1.0f + std::exp(-pa[j]));
+                }
+                break;
+              case EOp::kSilu:
+                for (index_t j = 0; j < L; ++j) {
+                  o[j] = pa[j] / (1.0f + std::exp(-pa[j]));
+                }
+                break;
+              case EOp::kAbs:
+                for (index_t j = 0; j < L; ++j) o[j] = std::fabs(pa[j]);
+                break;
+              case EOp::kSign:
+                for (index_t j = 0; j < L; ++j) {
+                  o[j] = pa[j] > 0.0f ? 1.0f : (pa[j] < 0.0f ? -1.0f : 0.0f);
+                }
+                break;
+              case EOp::kRecip:
+                for (index_t j = 0; j < L; ++j) o[j] = 1.0f / pa[j];
+                break;
+              case EOp::kSquare:
+                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * pa[j];
+                break;
+              case EOp::kClamp:
+                for (index_t j = 0; j < L; ++j) {
+                  o[j] = pa[j] < m.s0 ? m.s0 : (pa[j] > m.s1 ? m.s1 : pa[j]);
+                }
+                break;
+              case EOp::kClampMask:
+                for (index_t j = 0; j < L; ++j) {
+                  o[j] = (pa[j] >= m.s0 && pa[j] <= m.s1) ? 1.0f : 0.0f;
+                }
+                break;
+              case EOp::kAccum:
+              case EOp::kSumAll:
+              case EOp::kSumDim0:
+              case EOp::kSumDim1:
+                FASTCHG_CHECK(false, "fuse: store op in value position");
+            }
+            break;
+          }
+          case 2: {  // dst += src, element order identical to eager
+            const float* pa = chunk_operand(m, false, S, regptr, ta, r0, c0,
+                                            i0, L, C, RR);
+            float* d = S[m.store] + i0;
+            for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+            break;
+          }
+          case 3: {  // scatter-add, r-major order identical to eager
+            const float* pa = chunk_operand(m, false, S, regptr, ta, r0, c0,
+                                            i0, L, C, RR);
+            if (m.w > 1) {
+              if (RR == 1) {
+                float* d = S[m.store] +
+                           (*m.idx)[static_cast<std::size_t>(r0)] * m.w + c0;
+                for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+              } else {
+                for (index_t rr = 0; rr < RR; ++rr) {
+                  float* d =
+                      S[m.store] +
+                      (*m.idx)[static_cast<std::size_t>(r0 + rr)] * m.w;
+                  const float* s = pa + rr * C;
+                  for (index_t j = 0; j < C; ++j) d[j] += s[j];
+                }
+              }
+            } else {
+              float* d = S[m.store];
+              const index_t* ix = m.idx->data() + i0;
+              for (index_t j = 0; j < L; ++j) d[ix[j]] += pa[j];
+            }
+            break;
+          }
+          case 4: {
+            const float* pa = chunk_operand(m, false, S, regptr, ta, r0, c0,
+                                            i0, L, C, RR);
+            if (m.op == EOp::kSumDim0) {
+              // out[c] += v in r-major order: float accumulation, exactly
+              // the eager sequence of += per column.
+              if (RR == 1) {
+                float* d = S[m.store] + c0;
+                for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+              } else {
+                float* d = S[m.store];
+                for (index_t rr = 0; rr < RR; ++rr) {
+                  const float* s = pa + rr * C;
+                  for (index_t j = 0; j < C; ++j) d[j] += s[j];
+                }
+              }
+            } else if (m.op == EOp::kSumDim1 && RR > 1) {
+              // Whole rows per chunk: one double accumulator per row, in
+              // eager element order.
+              for (index_t rr = 0; rr < RR; ++rr) {
+                const float* s = pa + rr * C;
+                double a = 0.0;
+                for (index_t j = 0; j < C; ++j) {
+                  a += static_cast<double>(s[j]);
+                }
+                S[m.store][r0 + rr] = static_cast<float>(a);
+              }
+            } else {
+              // Flat sum / split-row per-row double accumulator, carried
+              // across column sub-chunks in eager element order.
+              for (index_t j = 0; j < L; ++j) {
+                acc += static_cast<double>(pa[j]);
+              }
+              if (m.op == EOp::kSumDim1 && c0 + L == C) {
+                S[m.store][r0] = static_cast<float>(acc);
+                acc = 0.0;
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+    i0 += L;
+  }
+  if (K.sum_all_tail) {
+    S[K.ops.back().store][0] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace
+
+FuseStats fuse_tape(std::vector<TapeStep>& steps,
+                    const std::vector<TapeSlot>& slots) {
+  FuseStats stats;
+  const int limit = static_cast<int>(steps.size());
+
+  // Global reader index: which steps read each slot (for the
+  // single-consumer / escape analysis that decides elimination).
+  std::vector<std::vector<int>> readers(slots.size());
+  for (int s = 0; s < limit; ++s) {
+    for (int in : steps[static_cast<std::size_t>(s)].ins) {
+      readers[static_cast<std::size_t>(in)].push_back(s);
+    }
+  }
+
+  std::vector<TapeStep> out;
+  out.reserve(steps.size());
+  int i = 0;
+  while (i < limit) {
+    int end = i;
+    SpanState st = grow_span(steps, slots, i, end);
+    if (end == i) {
+      out.push_back(std::move(steps[static_cast<std::size_t>(i)]));
+      ++i;
+      continue;
+    }
+
+    auto kern = std::make_shared<Kern>();
+    kern->n = st.n;
+    kern->cols = st.cols;
+
+    std::vector<int> fused_ins;
+    std::vector<int> fused_outs;
+    auto add_unique = [](std::vector<int>& v, int slot) {
+      for (int s : v) {
+        if (s == slot) return;
+      }
+      v.push_back(slot);
+    };
+
+    // Decide materialization per value-producing micro: an in-span value
+    // escapes when its slot is a tap/bound reservation or has a reader
+    // outside [i, end).
+    for (int s = i; s < end; ++s) {
+      const TapeStep& step = steps[static_cast<std::size_t>(s)];
+      Micro& m = st.micros[static_cast<std::size_t>(s - i)];
+      if (m.reg >= 0) {
+        const int slot = step.outs[0];
+        const TapeSlot& meta = slots[static_cast<std::size_t>(slot)];
+        bool escapes = meta.reserved || !meta.planned;
+        for (int rd : readers[static_cast<std::size_t>(slot)]) {
+          if (rd < i || rd >= end) {
+            escapes = true;
+            break;
+          }
+        }
+        if (escapes) {
+          m.store = slot;
+          m.skind = 1;
+          add_unique(fused_outs, slot);
+        } else {
+          ++stats.slots_eliminated;
+        }
+      } else if (m.skind == 2) {  // accumulate: dst is read and written
+        add_unique(fused_ins, m.store);
+        add_unique(fused_outs, m.store);
+      } else if (m.skind == 3) {  // scatter: zero-filled destination
+        const TapeSlot& meta = slots[static_cast<std::size_t>(m.store)];
+        kern->zeros.emplace_back(
+            m.store, static_cast<std::size_t>(meta.numel) * sizeof(float));
+        add_unique(fused_outs, m.store);
+      } else if (m.skind == 4) {
+        if (m.op == EOp::kSumDim0) {
+          const TapeSlot& meta = slots[static_cast<std::size_t>(m.store)];
+          kern->zeros.emplace_back(
+              m.store, static_cast<std::size_t>(meta.numel) * sizeof(float));
+        }
+        if (m.op == EOp::kSumAll) kern->sum_all_tail = true;
+        add_unique(fused_outs, m.store);
+      }
+      // External operand reads become fused-step inputs.
+      if (!m.gather_load && m.areg < 0 && m.aslot >= 0) {
+        add_unique(fused_ins, m.aslot);
+      }
+      if (m.gather_load) add_unique(fused_ins, m.aslot);
+      if (m.breg < 0 && m.bslot >= 0) add_unique(fused_ins, m.bslot);
+    }
+
+    kern->ops = std::move(st.micros);
+
+    TapeStep fused;
+    fused.op = "fused";
+    fused.counted = st.counted > 0;
+    fused.ins = std::move(fused_ins);
+    fused.outs = std::move(fused_outs);
+    fused.fn = [kern](float* const* S) { run_span(*kern, S); };
+    out.push_back(std::move(fused));
+
+    ++stats.spans;
+    stats.kernels_removed +=
+        static_cast<std::size_t>(st.counted - (st.counted > 0 ? 1 : 0));
+    i = end;
+  }
+
+  steps = std::move(out);
+  return stats;
+}
+
+}  // namespace fastchg::replay::fuse

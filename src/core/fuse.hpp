@@ -1,0 +1,213 @@
+// Offline fusion over recorded-step tapes (core/replay.hpp).
+//
+// Replay (PR 8) hands every hot path a flat op program with exact buffer
+// lifetimes.  This pass exploits that substrate the way "The Importance of
+// Being Scalable" argues NNIP speed must be found -- fewer, denser kernels
+// -- without touching a line of eager code: it walks the captured tape
+// *offline* (between capture and the first replay), finds fusible runs, and
+// rewrites each run into a single closure that streams intermediates
+// through a stack register file instead of slab slots.  Buffers that only
+// ever feed the next op in a run stop existing: they get no slab offset,
+// so the static memory plan shrinks along with the kernel count.
+//
+// What fuses (a *span* is a maximal contiguous run of fusible steps):
+//
+//   elementwise chains   unary/binary arithmetic (add, mul, silu, ...) and
+//                        broadcasts, in any DAG shape inside the run --
+//                        each step's value lives in a register; an output
+//                        some later op outside the run still reads is
+//                        additionally stored to its slab slot.
+//   gather prologues     index_select feeding the run: the fused loop
+//                        reads src[idx[r]*w + c] directly instead of
+//                        materializing the gathered copy.
+//   scatter epilogues    index_add consuming the run's value: the fused
+//                        loop accumulates rows into the destination in the
+//                        same r-major order the eager kernel used.
+//   reduction epilogues  sum_all / sum_dim consuming the run's value with
+//                        the same accumulator type and traversal order as
+//                        the eager loop (bit-exact by construction).
+//   grad accumulation    `grad += g` steps become in-run `+=` stores.
+//
+// Legality (checked per span; anything else splits the run):
+//   * every in-run value reference is elementwise (Addr::kElem) with the
+//     run's element count -- a row/col/scalar read of an in-run value
+//     would need the whole intermediate materialized first;
+//   * row/col/gather/scatter geometry agrees on a single `cols`;
+//   * an external slot is never both read and written inside one span
+//     unless every read is elementwise and every write is elementwise
+//     (scatter writes touch arbitrary rows, so a scatter target is never
+//     readable in-span);
+//   * tap slots and bound inputs are never eliminated, and only planned
+//     slots (op outputs) can be; baked parameter/accumulator slots keep
+//     their stable storage, so expect_stable() pins are never disturbed;
+//   * spans are capped at kMaxSpanOps micro-ops (the register file is a
+//     fixed stack array).
+//
+// Bit-exactness argument: all fused forms evaluate, per element, exactly
+// the float expressions the eager kernels evaluate, in exactly the order
+// the eager kernels visit elements (flat or r-major).  Elementwise ops are
+// pure per-element, so interchanging the step loop and the element loop
+// cannot change any result; reductions and scatters keep their eager
+// accumulation order.  tests/test_fuse.cpp proves this differentially
+// (fused vs unfused vs eager, max diff exactly 0.0) over random tapes and
+// all three integration sites, and fuzzes this file's legality checker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fastchg::replay::fuse {
+
+/// Global gate: FASTCHG_FUSE=off|0 disables the fusion stage (captured
+/// programs keep their raw one-closure-per-kernel form).  Defaults to on;
+/// set_fuse_enabled overrides the environment (tests).
+bool fuse_enabled();
+void set_fuse_enabled(bool on);
+
+/// Fused spans hold per-element values in a fixed stack register file; a
+/// longer run is split into multiple spans at this boundary.
+constexpr int kMaxSpanOps = 32;
+
+/// Elementwise micro-op vocabulary.  Every entry mirrors one eager lambda
+/// in autograd/ops.cpp byte-for-byte (eval_ew below is the single shared
+/// evaluator, so the differential tests pin the correspondence).
+enum class EOp : std::uint8_t {
+  kCopy,  ///< v = a (broadcast / materialize)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kAddS,   ///< v = a + s0
+  kMulS,   ///< v = a * s0
+  kPowS,   ///< v = pow(a, s0)
+  kNeg,
+  kExp,
+  kLog,
+  kSqrt,
+  kSin,
+  kCos,
+  kAcos,
+  kTanh,
+  kSigmoid,
+  kSilu,
+  kAbs,
+  kSign,
+  kRecip,
+  kSquare,
+  kClamp,      ///< s0 = lo, s1 = hi
+  kClampMask,  ///< (a in [s0, s1]) ? 1 : 0
+  kAccum,      ///< dst += a (gradient accumulation; store-only)
+  kSumAll,     ///< reduction: double accumulator over all elements
+  kSumDim0,    ///< reduction: out[c] += v, float accumulation (eager order)
+  kSumDim1,    ///< reduction: per-row double accumulator
+};
+
+/// How an operand is addressed relative to the output element (r, c, i):
+/// full elementwise, one scalar, a row vector indexed by c, or a column
+/// vector indexed by r.  Mirrors the broadcast patterns ops.cpp allows.
+enum class Addr : std::uint8_t { kNone, kElem, kScalar, kRow, kCol };
+
+struct EwDesc {
+  EOp op = EOp::kCopy;
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  Addr a = Addr::kNone;
+  Addr b = Addr::kNone;
+  index_t n = 0;     ///< output elements (reductions: input elements)
+  index_t cols = 0;  ///< row length when any operand uses kRow/kCol
+};
+
+/// Gather (index_select0) / scatter (index_add0) geometry.
+struct IndexDesc {
+  std::shared_ptr<const std::vector<index_t>> idx;
+  index_t rows = 0;  ///< gather: source rows; scatter: destination rows
+  index_t w = 1;     ///< row width
+};
+
+/// Semantic tag a kernel attaches to its recorded step.  kOpaque steps
+/// (matmul, the hand-fused basis/nn kernels, masks) are never fused and
+/// act as span barriers.
+struct StepDesc {
+  enum class Kind : std::uint8_t {
+    kOpaque,
+    kEltwise,
+    kGather,
+    kScatter,
+    kReduce,
+  };
+  Kind kind = Kind::kOpaque;
+  EwDesc ew;
+  IndexDesc index;
+};
+
+// Convenience builders for the recording kernels.
+StepDesc ew_unary(EOp op, index_t n, float s0 = 0.0f, float s1 = 0.0f);
+StepDesc ew_binary(EOp op, Addr a, Addr b, index_t n, index_t cols);
+StepDesc ew_broadcast(Addr a, index_t n, index_t cols);
+StepDesc ew_accum(index_t n);
+StepDesc gather_desc(std::shared_ptr<const std::vector<index_t>> idx,
+                     index_t src_rows, index_t w);
+StepDesc scatter_desc(std::shared_ptr<const std::vector<index_t>> idx,
+                      index_t dst_rows, index_t w);
+StepDesc reduce_desc(EOp op, index_t n, index_t cols);
+
+/// One recorded step in pre-plan form: the closure plus the dataflow and
+/// semantic metadata the fusion pass needs.  `ins`/`outs` list every slot
+/// the closure reads/writes (a slot may appear in both for
+/// read-modify-write steps such as grad accumulation).
+struct TapeStep {
+  const char* op = "";
+  bool counted = false;
+  std::vector<int> ins;
+  std::vector<int> outs;
+  StepDesc desc;
+  std::function<void(float* const*)> fn;
+};
+
+/// What the fusion pass may assume about a slot.  `planned` slots are op
+/// outputs the memory planner would place in the slab (the only
+/// candidates for elimination); `reserved` slots must stay materialized
+/// whatever their readers (taps, bound inputs).
+struct TapeSlot {
+  index_t numel = 0;
+  bool planned = false;
+  bool reserved = false;
+};
+
+/// A legal fusible run [begin, end) over the tape, as found by the
+/// legality checker.  Exposed separately from fuse_tape so tests can fuzz
+/// span discovery on synthetic tapes without executing them.
+struct Span {
+  int begin = 0;
+  int end = 0;
+  int counted = 0;  ///< counted kernels the span covers
+};
+
+/// Find every legal fusible span (>= 2 steps each, non-overlapping, in
+/// tape order).  Pure analysis: does not touch the closures.
+std::vector<Span> find_spans(const std::vector<TapeStep>& steps,
+                             const std::vector<TapeSlot>& slots);
+
+struct FuseStats {
+  std::size_t spans = 0;
+  std::size_t kernels_removed = 0;   ///< counted kernels fused away
+  std::size_t slots_eliminated = 0;  ///< intermediates with no slab slot
+};
+
+/// Rewrite `steps` in place: every legal span collapses into one fused
+/// TapeStep ("fused", counted once) whose closure streams the run through
+/// a register file; eliminated intermediates vanish from the tape (no
+/// step writes them, so the caller's lifetime scan drops them from the
+/// plan).  Returns what changed.
+FuseStats fuse_tape(std::vector<TapeStep>& steps,
+                    const std::vector<TapeSlot>& slots);
+
+/// The shared per-element evaluator (also used by tests to pin the
+/// fused/eager correspondence).  `b` is ignored for unary ops.
+float eval_ew(EOp op, float a, float b, float s0, float s1);
+
+}  // namespace fastchg::replay::fuse

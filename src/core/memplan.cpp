@@ -67,6 +67,37 @@ MemPlan plan_memory(std::vector<BufferLife> buffers) {
       if (at + need <= lo) break;  // fits in the gap before this range
       at = std::max(at, hi);
     }
+    // Page-congruence avoidance: a buffer placed 4 KiB-aliased with a
+    // co-live buffer serializes kernels that stream over both on false
+    // store-to-load dependencies (observed as a 6x slowdown of an
+    // unchanged loop when a repack landed its operands on aliased
+    // offsets).  Co-live is the proxy for co-accessed: nudge the offset
+    // by whole cache lines, a bounded number of times, keeping the
+    // first-fit position when no clean slot is nearby.
+    const auto aliases = [&](std::size_t cand) {
+      for (std::size_t p : placed) {
+        if (lifetimes_intersect(b, buffers[p]) &&
+            buffers[p].offset % 4096 == cand % 4096) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto fits = [&](std::size_t cand) {
+      for (const auto& [lo, hi] : busy) {
+        if (cand < hi && lo < cand + need) return false;
+      }
+      return true;
+    };
+    if (aliases(at)) {
+      for (std::size_t k = 1; k <= 8; ++k) {
+        const std::size_t cand = at + k * MemPlan::kAlign;
+        if (fits(cand) && !aliases(cand)) {
+          at = cand;
+          break;
+        }
+      }
+    }
     b.offset = at;
     placed.push_back(idx);
     plan.slab_bytes = std::max(plan.slab_bytes, at + need);

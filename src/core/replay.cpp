@@ -138,52 +138,40 @@ void Recorder::tap(const Tensor& t) {
 }
 
 void Recorder::push(const char* op, bool counted, const std::vector<int>& ins,
-                    int out, StepFn fn) {
-  const int idx = static_cast<int>(steps_.size());
+                    int out, StepFn fn, fuse::StepDesc desc) {
+  // Fingerprint mixes the *raw* tape (pre-fusion), so two captures of the
+  // same seeded step match whatever FASTCHG_FUSE says.
   fingerprint_ ^= 0x9e3779b97f4a7c15ull;
   KeyBuilder kb;
   kb.h = fingerprint_;
   kb.mix_bytes(op, std::strlen(op));
   kb.mix(counted ? 1u : 2u);
   kb.mix(static_cast<std::uint64_t>(ins.size()));
-  for (int s : ins) {
-    kb.mix(static_cast<std::uint64_t>(s));
-    SlotInfo& si = slots_[static_cast<std::size_t>(s)];
-    if (si.planned) si.last = std::max(si.last, idx);
-  }
+  for (int s : ins) kb.mix(static_cast<std::uint64_t>(s));
   kb.mix(static_cast<std::uint64_t>(out) + 7u);
   fingerprint_ = kb.h;
-  if (out >= 0) {
-    SlotInfo& so = slots_[static_cast<std::size_t>(out)];
-    if (so.planned) {
-      if (so.def == 0 && so.last == 0) so.def = idx;
-      so.last = std::max(so.last, idx);
-    }
-  }
-  if (counted) {
-    bool merged = false;
-    for (auto& [name, n] : counts_) {
-      if (name == op || std::strcmp(name, op) == 0) {
-        n += 1;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) counts_.emplace_back(op, 1);
-  }
-  steps_.push_back(Program::Step{op, std::move(fn)});
+  fuse::TapeStep step;
+  step.op = op;
+  step.counted = counted;
+  step.ins = ins;
+  if (out >= 0) step.outs.push_back(out);
+  step.desc = std::move(desc);
+  step.fn = std::move(fn);
+  tape_.push_back(std::move(step));
 }
 
 void Recorder::note_accumulate(const Tensor& dst, const Tensor& src) {
   const int d = slot_for(dst, /*as_output=*/false);
   const int s = slot_for(src, /*as_output=*/false);
   const index_t n = dst.numel();
-  push("grad_accum", /*counted=*/false, {d, s}, d,
-       [d, s, n](float* const* S) {
-         float* dp = S[d];
-         const float* sp = S[s];
-         for (index_t i = 0; i < n; ++i) dp[i] += sp[i];
-       });
+  push(
+      "grad_accum", /*counted=*/false, {d, s}, d,
+      [d, s, n](float* const* S) {
+        float* dp = S[d];
+        const float* sp = S[s];
+        for (index_t i = 0; i < n; ++i) dp[i] += sp[i];
+      },
+      fuse::ew_accum(n));
 }
 
 int Recorder::note_input(const Tensor& t) {
@@ -198,39 +186,112 @@ std::shared_ptr<Program> Recorder::finish() {
   FASTCHG_CHECK(!finished_, "replay: Recorder::finish() called twice");
   finished_ = true;
 
-  // Taps must survive to the end of the program (they are copied out after
-  // the last step), whatever their last recorded reader was.
-  const int end = steps_.empty() ? 0 : static_cast<int>(steps_.size()) - 1;
-  for (int ts : tap_slots_) {
-    SlotInfo& si = slots_[static_cast<std::size_t>(ts)];
-    if (si.planned) si.last = std::max(si.last, end);
+  std::uint64_t raw_counted = 0;
+  for (const auto& s : tape_) raw_counted += s.counted ? 1 : 0;
+
+  // Offline fusion stage: between capture and first replay, on the sealed
+  // tape.  Tap and bound slots are reservations the pass must keep
+  // materialized; baked slots are not `planned`, so they are never
+  // eliminated either.
+  fuse::FuseStats fstats;
+  if (fuse::fuse_enabled() && !tape_.empty()) {
+    std::vector<fuse::TapeSlot> fslots(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      fslots[i].numel = slots_[i].numel;
+      fslots[i].planned = slots_[i].planned;
+    }
+    for (int ts : tap_slots_) {
+      fslots[static_cast<std::size_t>(ts)].reserved = true;
+    }
+    for (int bs : bound_slots_) {
+      if (bs >= 0) fslots[static_cast<std::size_t>(bs)].reserved = true;
+    }
+    fstats = fuse::fuse_tape(tape_, fslots);
+    perf::track_fuse(fstats.spans, fstats.kernels_removed);
   }
 
-  // Lifetimes -> static plan.  Only planned slots (op outputs) get slab
-  // offsets; bound and baked slots keep external storage.
+  // Lifetime scan over the (possibly fused) tape: a planned slot lives
+  // from its first to its last access.  Slots fusion eliminated are never
+  // touched by any remaining step, so they simply drop out of the plan.
+  struct Life {
+    int def = -1;
+    int last = -1;
+  };
+  std::vector<Life> life(slots_.size());
+  for (std::size_t idx = 0; idx < tape_.size(); ++idx) {
+    const int at = static_cast<int>(idx);
+    auto touch = [&](int slot) {
+      if (!slots_[static_cast<std::size_t>(slot)].planned) return;
+      Life& l = life[static_cast<std::size_t>(slot)];
+      if (l.def < 0) l.def = at;
+      l.last = at;
+    };
+    for (int s : tape_[idx].ins) touch(s);
+    for (int o : tape_[idx].outs) touch(o);
+  }
+  // Taps must survive to the end of the program (they are copied out after
+  // the last step), whatever their last recorded reader was.
+  const int end = tape_.empty() ? 0 : static_cast<int>(tape_.size()) - 1;
+  for (int ts : tap_slots_) {
+    Life& l = life[static_cast<std::size_t>(ts)];
+    if (slots_[static_cast<std::size_t>(ts)].planned && l.def >= 0) {
+      l.last = std::max(l.last, end);
+    }
+  }
+
+  // Lifetimes -> static plan.  Only planned slots (op outputs) that
+  // survived fusion get slab offsets; bound and baked slots keep external
+  // storage.
   std::vector<BufferLife> lives;
   std::vector<int> planned_slots;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].planned) continue;
+    if (!slots_[i].planned || life[i].def < 0) continue;
     BufferLife b;
     b.bytes = static_cast<std::size_t>(slots_[i].numel) * sizeof(float);
-    b.def = slots_[i].def;
-    b.last = slots_[i].last;
+    b.def = life[i].def;
+    b.last = life[i].last;
     lives.push_back(b);
     planned_slots.push_back(static_cast<int>(i));
   }
   MemPlan plan = plan_memory(std::move(lives));
 
+  // Replay kernel accounting reflects the fused tape (the fused-vs-raw gap
+  // *is* the measured win); aggregate per distinct op name as before.
+  std::vector<std::pair<const char*, std::uint64_t>> counts;
+  std::uint64_t counted = 0;
+  for (const auto& s : tape_) {
+    if (!s.counted) continue;
+    ++counted;
+    bool merged = false;
+    for (auto& [name, n] : counts) {
+      if (name == s.op || std::strcmp(name, s.op) == 0) {
+        n += 1;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) counts.emplace_back(s.op, 1);
+  }
+
   auto prog = std::shared_ptr<Program>(new Program());
   prog->plan_ = std::move(plan);
-  prog->steps_ = std::move(steps_);
+  prog->steps_.reserve(tape_.size());
+  for (auto& s : tape_) {
+    prog->steps_.push_back(Program::Step{s.op, std::move(s.fn)});
+  }
+  tape_.clear();
   prog->fingerprint_ = fingerprint_;
+  prog->fused_spans_ = fstats.spans;
+  prog->fused_kernels_removed_ = fstats.kernels_removed;
+  prog->fused_slots_eliminated_ = fstats.slots_eliminated;
+  prog->raw_counted_ = raw_counted;
+  prog->counted_ = counted;
   prog->bound_slots_ = std::move(bound_slots_);
   prog->bound_numel_ = std::move(bound_numel_);
   prog->stable_ptrs_ = std::move(stable_ptrs_);
   prog->tap_slots_ = std::move(tap_slots_);
   prog->tap_shapes_ = std::move(tap_shapes_);
-  prog->kernel_counts_ = std::move(counts_);
+  prog->kernel_counts_ = std::move(counts);
 
   // Materialize the slab and resolve every slot to its final pointer.
   const std::size_t slab_bytes = prog->plan_.slab_bytes;
@@ -336,6 +397,10 @@ void ProgramCache::store(std::uint64_t key,
   auto it = entries_.find(key);
   if (it == entries_.end()) return;  // invalidated while capturing
   it->second.capturing = false;
+  if (program) {
+    stats_.fused_spans += program->fused_spans();
+    stats_.fused_kernels_removed += program->fused_kernels_removed();
+  }
   it->second.program = std::move(program);
   ++stats_.captures;
   perf::track_replay_capture();
@@ -364,6 +429,15 @@ void ProgramCache::invalidate(std::uint64_t key) {
 ProgramCache::Stats ProgramCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<std::shared_ptr<Program>> ProgramCache::programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Program>> out;
+  for (const auto& [k, e] : entries_) {
+    if (e.program) out.push_back(e.program);
+  }
+  return out;
 }
 
 std::size_t ProgramCache::size() const {

@@ -7,6 +7,10 @@
 
 #include "core/parallel_for.hpp"
 #include "core/replay.hpp"
+#include "ops/eltwise.hpp"
+#include "ops/gather_scatter.hpp"
+#include "ops/gemm.hpp"
+#include "ops/reduce.hpp"
 #include "perf/counters.hpp"
 
 // Replay capture (core/replay.hpp): every kernel here factors its arithmetic
@@ -15,10 +19,18 @@
 // the same loops over slot-resolved pointers.  Pure aliases (reshape,
 // same-shape broadcast/sum_to, single-input cat) share storage and need no
 // step of their own.
+//
+// SIMD dispatch (src/ops/): the loop helpers route per-element arithmetic,
+// GEMM, row gather/scatter and column sums through the tiered op library.
+// Ops in the bit-exact class produce identical bytes at every tier;
+// transcendentals and double-accumulated reductions stay pinned to the
+// scalar reference (see docs/ops.md), so the fuse/replay/pool 0.0-diff
+// gates hold under any FASTCHG_SIMD setting.
 
 namespace fastchg::ag::ops {
 
 namespace fuse = replay::fuse;
+namespace sops = ::fastchg::ops;
 
 namespace {
 
@@ -129,6 +141,101 @@ void binary_loop(BPat pat, index_t rows, index_t cols, index_t n,
   }
 }
 
+/// Dispatch-routing wrapper around binary_loop: the four arithmetic EOps
+/// run through ops::eltwise (vectorized under the AVX2 tier, per-element
+/// bit-exact at every tier); anything else falls back to the reference
+/// loop.  Eager call and replay closure both come through here, so the two
+/// paths keep identical instruction streams per tier.
+template <class F>
+void binary_loop_d(fuse::EOp eop, BPat pat, index_t rows, index_t cols,
+                   index_t n, const float* pa, const float* pb, float* po,
+                   F f) {
+  using fuse::EOp;
+  if (eop != EOp::kAdd && eop != EOp::kSub && eop != EOp::kMul &&
+      eop != EOp::kDiv) {
+    binary_loop(pat, rows, cols, n, pa, pb, po, f);
+    return;
+  }
+  namespace ew = sops::eltwise;
+  switch (pat) {
+    case BPat::kSame:
+      switch (eop) {
+        case EOp::kAdd: ew::add(n, pa, pb, po); return;
+        case EOp::kSub: ew::sub(n, pa, pb, po); return;
+        case EOp::kMul: ew::mul(n, pa, pb, po); return;
+        default: ew::div(n, pa, pb, po); return;
+      }
+    case BPat::kAScalar: {
+      const float av = pa[0];
+      switch (eop) {
+        case EOp::kAdd: ew::add_s(n, pb, av, po); return;
+        case EOp::kSub: ew::rsub_s(n, pb, av, po); return;
+        case EOp::kMul: ew::mul_s(n, pb, av, po); return;
+        default: ew::rdiv_s(n, pb, av, po); return;
+      }
+    }
+    case BPat::kBScalar: {
+      const float bv = pb[0];
+      switch (eop) {
+        case EOp::kAdd: ew::add_s(n, pa, bv, po); return;
+        case EOp::kSub: ew::sub_s(n, pa, bv, po); return;
+        case EOp::kMul: ew::mul_s(n, pa, bv, po); return;
+        default: ew::div_s(n, pa, bv, po); return;
+      }
+    }
+    case BPat::kARow:
+      for (index_t r = 0; r < rows; ++r) {
+        const float* q = pb + r * cols;
+        float* d = po + r * cols;
+        switch (eop) {
+          case EOp::kAdd: ew::add(cols, pa, q, d); break;
+          case EOp::kSub: ew::sub(cols, pa, q, d); break;
+          case EOp::kMul: ew::mul(cols, pa, q, d); break;
+          default: ew::div(cols, pa, q, d); break;
+        }
+      }
+      return;
+    case BPat::kBRow:
+      for (index_t r = 0; r < rows; ++r) {
+        const float* q = pa + r * cols;
+        float* d = po + r * cols;
+        switch (eop) {
+          case EOp::kAdd: ew::add(cols, q, pb, d); break;
+          case EOp::kSub: ew::sub(cols, q, pb, d); break;
+          case EOp::kMul: ew::mul(cols, q, pb, d); break;
+          default: ew::div(cols, q, pb, d); break;
+        }
+      }
+      return;
+    case BPat::kACol:
+      for (index_t r = 0; r < rows; ++r) {
+        const float av = pa[r];
+        const float* q = pb + r * cols;
+        float* d = po + r * cols;
+        switch (eop) {
+          case EOp::kAdd: ew::add_s(cols, q, av, d); break;
+          case EOp::kSub: ew::rsub_s(cols, q, av, d); break;
+          case EOp::kMul: ew::mul_s(cols, q, av, d); break;
+          default: ew::rdiv_s(cols, q, av, d); break;
+        }
+      }
+      return;
+    case BPat::kBCol:
+      for (index_t r = 0; r < rows; ++r) {
+        const float bv = pb[r];
+        const float* q = pa + r * cols;
+        float* d = po + r * cols;
+        switch (eop) {
+          case EOp::kAdd: ew::add_s(cols, q, bv, d); break;
+          case EOp::kSub: ew::sub_s(cols, q, bv, d); break;
+          case EOp::kMul: ew::mul_s(cols, q, bv, d); break;
+          default: ew::div_s(cols, q, bv, d); break;
+        }
+      }
+      return;
+  }
+}
+
 /// Addressing modes a broadcast pattern imposes on the two operands (the
 /// fusion pass reads elements through the same modes the eager loop uses).
 void fuse_addrs(BPat pat, index_t cols, fuse::Addr& aa, fuse::Addr& ab,
@@ -174,7 +281,7 @@ Tensor binary_kernel(const char* name, fuse::EOp eop, const Tensor& a,
   const index_t rows = out_shape.size() == 2 ? out_shape[0] : 0;
   const index_t cols = out_shape.size() == 2 ? out_shape[1] : 0;
   const index_t n = out.numel();
-  binary_loop(pat, rows, cols, n, a.data(), b.data(), out.data(), f);
+  binary_loop_d(eop, pat, rows, cols, n, a.data(), b.data(), out.data(), f);
   if (auto* rec = replay::Recorder::active()) {
     const int sa = rec->note_input(a);
     const int sb = rec->note_input(b);
@@ -184,8 +291,8 @@ Tensor binary_kernel(const char* name, fuse::EOp eop, const Tensor& a,
     fuse_addrs(pat, cols, aa, ab, dcols);
     rec->push(
         name, /*counted=*/true, {sa, sb}, so,
-        [pat, rows, cols, n, sa, sb, so, f](float* const* S) {
-          binary_loop(pat, rows, cols, n, S[sa], S[sb], S[so], f);
+        [eop, pat, rows, cols, n, sa, sb, so, f](float* const* S) {
+          binary_loop_d(eop, pat, rows, cols, n, S[sa], S[sb], S[so], f);
         },
         fuse::ew_binary(eop, aa, ab, n, dcols));
   }
@@ -197,19 +304,45 @@ void unary_loop(index_t n, const float* px, float* po, F f) {
   for (index_t i = 0; i < n; ++i) po[i] = f(px[i]);
 }
 
+/// Dispatch-routing wrapper around unary_loop.  Pure arithmetic EOps go
+/// through ops::eltwise (bit-exact at every tier); the transcendentals
+/// (exp/log/sin/cos/acos/tanh/sigmoid/silu/pow) stay pinned to the scalar
+/// libm loop so their bytes never depend on the tier.
+template <class F>
+void unary_loop_d(fuse::EOp eop, float s0, float s1, index_t n,
+                  const float* px, float* po, F f) {
+  namespace ew = sops::eltwise;
+  using fuse::EOp;
+  switch (eop) {
+    case EOp::kNeg: ew::neg(n, px, po); return;
+    case EOp::kAbs: ew::abs(n, px, po); return;
+    case EOp::kSquare: ew::square(n, px, po); return;
+    case EOp::kRecip: ew::recip(n, px, po); return;
+    case EOp::kSqrt: ew::sqrt(n, px, po); return;
+    case EOp::kSign: ew::sign(n, px, po); return;
+    case EOp::kAddS: ew::add_s(n, px, s0, po); return;
+    case EOp::kMulS: ew::mul_s(n, px, s0, po); return;
+    case EOp::kClamp: ew::clamp(n, px, s0, s1, po); return;
+    case EOp::kClampMask: ew::clamp_mask(n, px, s0, s1, po); return;
+    default: unary_loop(n, px, po, f); return;
+  }
+}
+
 template <class F>
 Tensor unary_kernel(const char* name, fuse::EOp eop, const Tensor& x, F f,
                     float s0 = 0.0f, float s1 = 0.0f) {
   perf::count_kernel(name);
   Tensor out = Tensor::empty(x.shape());
   const index_t n = x.numel();
-  unary_loop(n, x.data(), out.data(), f);
+  unary_loop_d(eop, s0, s1, n, x.data(), out.data(), f);
   if (auto* rec = replay::Recorder::active()) {
     const int sx = rec->note_input(x);
     const int so = rec->note_output(out);
     rec->push(
         name, /*counted=*/true, {sx}, so,
-        [n, sx, so, f](float* const* S) { unary_loop(n, S[sx], S[so], f); },
+        [eop, s0, s1, n, sx, so, f](float* const* S) {
+          unary_loop_d(eop, s0, s1, n, S[sx], S[so], f);
+        },
         fuse::ew_unary(eop, n, s0, s1));
   }
   return out;
@@ -476,18 +609,9 @@ namespace {
 /// identical for any thread count.
 void matmul_loop(index_t m, index_t k, index_t n, const float* pa,
                  const float* pb, float* po) {
-  std::memset(po, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  parallel_for(0, m, /*grain=*/16, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      float* orow = po + i * n;
-      const float* arow = pa + i * k;
-      for (index_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = pb + kk * n;
-        for (index_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  // ops::gemm owns the kernel now (the scalar tier is this function's old
+  // body verbatim; the AVX2 tier register-tiles with FMA, tolerance-gated).
+  sops::gemm::matmul(m, k, n, pa, pb, po);
 }
 
 Tensor matmul_kernel(const Tensor& a, const Tensor& b) {
@@ -558,9 +682,8 @@ Var transpose2d(const Var& x) {
 
 namespace {
 void sum_all_loop(index_t n, const float* px, float* po) {
-  double acc = 0.0;
-  for (index_t i = 0; i < n; ++i) acc += px[i];
-  po[0] = static_cast<float>(acc);
+  // Pinned scalar at every tier (serial double chain; see ops/reduce.hpp).
+  po[0] = static_cast<float>(sops::reduce::sum_all(n, px));
 }
 }  // namespace
 
@@ -588,15 +711,11 @@ namespace {
 void sum_dim_loop(index_t dim, index_t rows, index_t cols, const float* px,
                   float* po) {
   if (dim == 0) {
-    std::memset(po, 0, static_cast<std::size_t>(cols) * sizeof(float));
-    for (index_t r = 0; r < rows; ++r)
-      for (index_t c = 0; c < cols; ++c) po[c] += px[r * cols + c];
+    // Column sums vectorize bit-exactly (per-column order preserved).
+    sops::reduce::sum_dim0(rows, cols, px, po);
   } else {
-    for (index_t r = 0; r < rows; ++r) {
-      double acc = 0.0;
-      for (index_t c = 0; c < cols; ++c) acc += px[r * cols + c];
-      po[r] = static_cast<float>(acc);
-    }
+    // Row sums are double-accumulated: pinned scalar at every tier.
+    sops::reduce::sum_dim1(rows, cols, px, po);
   }
 }
 }  // namespace
@@ -747,23 +866,21 @@ void index_select_loop(const std::vector<index_t>& idx, index_t rows,
     const index_t src = idx[static_cast<std::size_t>(r)];
     FASTCHG_CHECK(src >= 0 && src < rows,
                   "index_select: index " << src << " out of " << rows);
-    std::memcpy(po + r * w, px + src * w,
-                static_cast<std::size_t>(w) * sizeof(float));
   }
+  sops::gather_scatter::gather_rows(k, w, idx.data(), px, po);
 }
 
 void index_add_loop(const std::vector<index_t>& idx, index_t rows, index_t w,
                     const float* ps, float* po) {
-  std::memset(po, 0, static_cast<std::size_t>(rows * w) * sizeof(float));
   const index_t k = static_cast<index_t>(idx.size());
   for (index_t r = 0; r < k; ++r) {
     const index_t dst = idx[static_cast<std::size_t>(r)];
     FASTCHG_CHECK(dst >= 0 && dst < rows,
                   "index_add: index " << dst << " out of " << rows);
-    float* orow = po + dst * w;
-    const float* srow = ps + r * w;
-    for (index_t c = 0; c < w; ++c) orow[c] += srow[c];
   }
+  // Zeroes po, then accumulates source rows in order r = 0..k-1: identical
+  // per-column accumulation order at every tier (bit-exact class).
+  sops::gather_scatter::scatter_add_rows(k, rows, w, idx.data(), ps, po);
 }
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/replay.hpp"
+#include "ops/basis.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -19,17 +20,9 @@ const float kConstTerm = 1.0f / std::sqrt(2.0f * static_cast<float>(M_PI));
 /// Fused Fourier forward loop, shared by the eager kernel and its replay
 /// closure.
 void fourier_loop(index_t g, index_t order, const float* pt, float* po) {
-  const index_t nb = 2 * order + 1;
-  for (index_t i = 0; i < g; ++i) {
-    float* row = po + i * nb;
-    row[0] = kConstTerm;
-    const float t = pt[i];
-    for (index_t n = 1; n <= order; ++n) {
-      const float nt = static_cast<float>(n) * t;
-      row[n] = std::cos(nt) * kInvSqrtPi;
-      row[order + n] = std::sin(nt) * kInvSqrtPi;
-    }
-  }
+  // Dispatched: scalar tier is this function's old body verbatim; the AVX2
+  // tier evaluates sin/cos with the Cephes polynomial (tolerance-gated).
+  ::fastchg::ops::basis::fourier(g, order, kConstTerm, kInvSqrtPi, pt, po);
 }
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/replay.hpp"
+#include "ops/basis.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -17,16 +18,11 @@ namespace {
 /// closure (bit-identical results by construction).
 void srbf_loop(index_t e, index_t nb, float rc, float c, int p,
                const float* pr, const float* pf, float* po) {
-  for (index_t i = 0; i < e; ++i) {
-    const float rv = pr[i];
-    const float x = rv / rc;
-    const float u = static_cast<float>(envelope_value(x, p));
-    const float pre = c * u / rv;
-    float* row = po + i * nb;
-    for (index_t n = 0; n < nb; ++n) {
-      row[n] = pre * std::sin(pf[n] * x);
-    }
-  }
+  // Dispatched: scalar tier is this function's old body verbatim; the AVX2
+  // tier evaluates sin() with the Cephes polynomial (tolerance-gated class).
+  // envelope_value lives in fastchg_model (above fastchg_core in the layer
+  // stack), so it crosses into ops::basis as a plain function pointer.
+  ::fastchg::ops::basis::srbf(e, nb, rc, c, p, &envelope_value, pr, pf, po);
 }
 }  // namespace
 

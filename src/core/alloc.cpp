@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -22,12 +23,20 @@ thread_local AllocatorPtr t_current;
 
 void* SystemAllocator::allocate(std::size_t bytes) {
   perf::track_system_alloc();
-  return ::operator new(bytes);
+  // Aligned form: the arena contract (kArenaAlign, alloc.hpp) starts here;
+  // pool buckets inherit it because they are carved from these blocks.
+  return ::operator new(bytes, std::align_val_t{kArenaAlign});
 }
 
 void SystemAllocator::deallocate(void* p, std::size_t /*bytes*/) {
-  ::operator delete(p);
+  ::operator delete(p, std::align_val_t{kArenaAlign});
 }
+
+namespace {
+[[maybe_unused]] inline bool arena_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kArenaAlign == 0;
+}
+}  // namespace
 
 AllocatorPtr system_allocator() {
   static AllocatorPtr a = std::make_shared<SystemAllocator>();
@@ -65,7 +74,9 @@ void* PoolAllocator::allocate(std::size_t bytes) {
     ++st_.misses;
     ++st_.live_blocks;
     st_.live_bytes += bytes;
-    return upstream_->allocate(bytes);
+    void* p = upstream_->allocate(bytes);
+    assert(arena_aligned(p));
+    return p;
   }
   const std::size_t sz = bucket_size(bytes);
   const int bi = bucket_index(sz);
@@ -85,6 +96,7 @@ void* PoolAllocator::allocate(std::size_t bytes) {
         bucket_window_[bi] = bucket_live_[bi];
       }
       perf::track_pool_hit();
+      assert(arena_aligned(p));
       return p;
     }
   }
@@ -105,6 +117,7 @@ void* PoolAllocator::allocate(std::size_t bytes) {
   }
   perf::track_pool_miss();
   perf::track_pool_slab(static_cast<std::int64_t>(sz));
+  assert(arena_aligned(p));
   return p;
 }
 

@@ -46,6 +46,16 @@
 
 namespace fastchg::alloc {
 
+/// Every allocator in this header returns 64-byte-aligned blocks *by
+/// construction*: SystemAllocator uses aligned operator new, and pool
+/// buckets are power-of-two multiples of kMinBlock (= 64) carved from
+/// upstream, so recycling preserves the alignment.  The SIMD op library
+/// (src/ops/) treats this as a performance contract -- a full cache line /
+/// AVX-512-ready vector per arena block -- not a correctness requirement
+/// (kernels use unaligned loads); debug builds assert it on every pool
+/// return path.
+inline constexpr std::size_t kArenaAlign = 64;
+
 /// Byte-level allocation interface.  `deallocate` must receive the same
 /// `bytes` the matching `allocate` was called with (the pool re-derives the
 /// bucket from it).  Implementations are thread-safe.

@@ -7,8 +7,15 @@
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "ops/dispatch.hpp"
+#include "ops/eltwise.hpp"
 
 namespace fastchg::replay::fuse {
+
+// The interpreter routes its arithmetic micros through the dispatched op
+// library (`ew::` below).  A local variable in run_span is named `ops`, so
+// the library namespace is reached through this alias only.
+namespace ew = ::fastchg::ops::eltwise;
 
 namespace {
 
@@ -467,6 +474,14 @@ namespace {
 /// order (chunks advance r-major, rows inside a chunk run in order).
 constexpr index_t kBlock = 256;
 
+// Column sub-chunk boundaries must land on vector-width multiples: every
+// non-final sub-chunk of a split row is exactly kBlock long, so forcing
+// kBlock to a kVecWidth multiple keeps c0 vector-aligned for all of them
+// and only the final sub-chunk carries a scalar tail.  An AVX2 row then
+// never straddles a register-file chunk mid-vector.
+static_assert(kBlock % ::fastchg::ops::kVecWidth == 0,
+              "span block must be a vector-width multiple");
+
 /// Resolve one operand of `m` for the chunk of RR rows starting at row
 /// r0, flat offset i0, column offset c0 (nonzero only when RR == 1 and
 /// the row is split), L elements total.  Returns L contiguous values;
@@ -535,9 +550,16 @@ void run_span(const Kern& K, float* const* S) {
     const index_t RR =
         colchunk ? 1
                  : (kBlock / C < R - r0 ? kBlock / C : R - r0);
-    const index_t L = colchunk
-                          ? (C - c0 < kBlock ? C - c0 : kBlock)
-                          : RR * C;
+    // Split rows advance in kBlock columns (a kVecWidth multiple by the
+    // static_assert above), rounded down so only the final sub-chunk has a
+    // non-multiple length.
+    const index_t L =
+        colchunk
+            ? (C - c0 <= kBlock
+                   ? C - c0
+                   : (kBlock / ::fastchg::ops::kVecWidth) *
+                         ::fastchg::ops::kVecWidth)
+            : RR * C;
     {
       for (std::size_t k = 0; k < nops; ++k) {
         const Micro& m = ops[k];
@@ -604,16 +626,16 @@ void run_span(const Kern& K, float* const* S) {
                                                c0, i0, L, C, RR);
               switch (m.op) {
                 case EOp::kAdd:
-                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] + vb;
+                  ew::add_s(L, pa2, vb, o);
                   break;
                 case EOp::kSub:
-                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] - vb;
+                  ew::sub_s(L, pa2, vb, o);
                   break;
                 case EOp::kMul:
-                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] * vb;
+                  ew::mul_s(L, pa2, vb, o);
                   break;
                 default:
-                  for (index_t j = 0; j < L; ++j) o[j] = pa2[j] / vb;
+                  ew::div_s(L, pa2, vb, o);
                   break;
               }
               break;
@@ -640,32 +662,32 @@ void run_span(const Kern& K, float* const* S) {
                   if (row) {
                     switch (m.op) {
                       case EOp::kAdd:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] + q[j];
+                        ew::add(C, s, q, d);
                         break;
                       case EOp::kSub:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] - q[j];
+                        ew::sub(C, s, q, d);
                         break;
                       case EOp::kMul:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] * q[j];
+                        ew::mul(C, s, q, d);
                         break;
                       default:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] / q[j];
+                        ew::div(C, s, q, d);
                         break;
                     }
                   } else {
                     const float v = q[r0 + rr];
                     switch (m.op) {
                       case EOp::kAdd:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] + v;
+                        ew::add_s(C, s, v, d);
                         break;
                       case EOp::kSub:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] - v;
+                        ew::sub_s(C, s, v, d);
                         break;
                       case EOp::kMul:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] * v;
+                        ew::mul_s(C, s, v, d);
                         break;
                       default:
-                        for (index_t j = 0; j < C; ++j) d[j] = s[j] / v;
+                        ew::div_s(C, s, v, d);
                         break;
                     }
                   }
@@ -684,32 +706,32 @@ void run_span(const Kern& K, float* const* S) {
                   if (row) {
                     switch (m.op) {
                       case EOp::kAdd:
-                        for (index_t j = 0; j < C; ++j) d[j] = q[j] + s[j];
+                        ew::add(C, q, s, d);
                         break;
                       case EOp::kSub:
-                        for (index_t j = 0; j < C; ++j) d[j] = q[j] - s[j];
+                        ew::sub(C, q, s, d);
                         break;
                       case EOp::kMul:
-                        for (index_t j = 0; j < C; ++j) d[j] = q[j] * s[j];
+                        ew::mul(C, q, s, d);
                         break;
                       default:
-                        for (index_t j = 0; j < C; ++j) d[j] = q[j] / s[j];
+                        ew::div(C, q, s, d);
                         break;
                     }
                   } else {
                     const float v = q[r0 + rr];
                     switch (m.op) {
                       case EOp::kAdd:
-                        for (index_t j = 0; j < C; ++j) d[j] = v + s[j];
+                        ew::add_s(C, s, v, d);
                         break;
                       case EOp::kSub:
-                        for (index_t j = 0; j < C; ++j) d[j] = v - s[j];
+                        ew::rsub_s(C, s, v, d);
                         break;
                       case EOp::kMul:
-                        for (index_t j = 0; j < C; ++j) d[j] = v * s[j];
+                        ew::mul_s(C, s, v, d);
                         break;
                       default:
-                        for (index_t j = 0; j < C; ++j) d[j] = v / s[j];
+                        ew::rdiv_s(C, s, v, d);
                         break;
                     }
                   }
@@ -744,16 +766,16 @@ void run_span(const Kern& K, float* const* S) {
                                                  c0, i0, L, C, RR);
                 switch (m.op) {
                   case EOp::kAdd:
-                    for (index_t j = 0; j < L; ++j) o[j] = va + pb2[j];
+                    ew::add_s(L, pb2, va, o);
                     break;
                   case EOp::kSub:
-                    for (index_t j = 0; j < L; ++j) o[j] = va - pb2[j];
+                    ew::rsub_s(L, pb2, va, o);
                     break;
                   case EOp::kMul:
-                    for (index_t j = 0; j < L; ++j) o[j] = va * pb2[j];
+                    ew::mul_s(L, pb2, va, o);
                     break;
                   default:
-                    for (index_t j = 0; j < L; ++j) o[j] = va / pb2[j];
+                    ew::rdiv_s(L, pb2, va, o);
                     break;
                 }
                 break;
@@ -764,35 +786,37 @@ void run_span(const Kern& K, float* const* S) {
                     ? chunk_operand(m, true, S, regptr, tb, r0, c0, i0, L,
                                     C, RR)
                     : nullptr;
-            // Each loop body is byte-for-byte the eager lambda from
-            // autograd/ops.cpp (eval_ew pins the correspondence).
+            // Arithmetic micros dispatch through ew:: (per-element IEEE
+            // ops: bit-exact at every tier); transcendental micros stay
+            // byte-for-byte the eager lambda from autograd/ops.cpp
+            // (eval_ew pins the correspondence) at all tiers.
             switch (m.op) {
               case EOp::kCopy:
                 for (index_t j = 0; j < L; ++j) o[j] = pa[j];
                 break;
               case EOp::kAdd:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] + pb[j];
+                ew::add(L, pa, pb, o);
                 break;
               case EOp::kSub:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] - pb[j];
+                ew::sub(L, pa, pb, o);
                 break;
               case EOp::kMul:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * pb[j];
+                ew::mul(L, pa, pb, o);
                 break;
               case EOp::kDiv:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] / pb[j];
+                ew::div(L, pa, pb, o);
                 break;
               case EOp::kAddS:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] + m.s0;
+                ew::add_s(L, pa, m.s0, o);
                 break;
               case EOp::kMulS:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * m.s0;
+                ew::mul_s(L, pa, m.s0, o);
                 break;
               case EOp::kPowS:
                 for (index_t j = 0; j < L; ++j) o[j] = std::pow(pa[j], m.s0);
                 break;
               case EOp::kNeg:
-                for (index_t j = 0; j < L; ++j) o[j] = -pa[j];
+                ew::neg(L, pa, o);
                 break;
               case EOp::kExp:
                 for (index_t j = 0; j < L; ++j) o[j] = std::exp(pa[j]);
@@ -801,7 +825,7 @@ void run_span(const Kern& K, float* const* S) {
                 for (index_t j = 0; j < L; ++j) o[j] = std::log(pa[j]);
                 break;
               case EOp::kSqrt:
-                for (index_t j = 0; j < L; ++j) o[j] = std::sqrt(pa[j]);
+                ew::sqrt(L, pa, o);
                 break;
               case EOp::kSin:
                 for (index_t j = 0; j < L; ++j) o[j] = std::sin(pa[j]);
@@ -826,28 +850,22 @@ void run_span(const Kern& K, float* const* S) {
                 }
                 break;
               case EOp::kAbs:
-                for (index_t j = 0; j < L; ++j) o[j] = std::fabs(pa[j]);
+                ew::abs(L, pa, o);
                 break;
               case EOp::kSign:
-                for (index_t j = 0; j < L; ++j) {
-                  o[j] = pa[j] > 0.0f ? 1.0f : (pa[j] < 0.0f ? -1.0f : 0.0f);
-                }
+                ew::sign(L, pa, o);
                 break;
               case EOp::kRecip:
-                for (index_t j = 0; j < L; ++j) o[j] = 1.0f / pa[j];
+                ew::recip(L, pa, o);
                 break;
               case EOp::kSquare:
-                for (index_t j = 0; j < L; ++j) o[j] = pa[j] * pa[j];
+                ew::square(L, pa, o);
                 break;
               case EOp::kClamp:
-                for (index_t j = 0; j < L; ++j) {
-                  o[j] = pa[j] < m.s0 ? m.s0 : (pa[j] > m.s1 ? m.s1 : pa[j]);
-                }
+                ew::clamp(L, pa, m.s0, m.s1, o);
                 break;
               case EOp::kClampMask:
-                for (index_t j = 0; j < L; ++j) {
-                  o[j] = (pa[j] >= m.s0 && pa[j] <= m.s1) ? 1.0f : 0.0f;
-                }
+                ew::clamp_mask(L, pa, m.s0, m.s1, o);
                 break;
               case EOp::kAccum:
               case EOp::kSumAll:
@@ -860,8 +878,7 @@ void run_span(const Kern& K, float* const* S) {
           case 2: {  // dst += src, element order identical to eager
             const float* pa = chunk_operand(m, false, S, regptr, ta, r0, c0,
                                             i0, L, C, RR);
-            float* d = S[m.store] + i0;
-            for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+            ew::acc(L, pa, S[m.store] + i0);
             break;
           }
           case 3: {  // scatter-add, r-major order identical to eager
@@ -869,16 +886,16 @@ void run_span(const Kern& K, float* const* S) {
                                             i0, L, C, RR);
             if (m.w > 1) {
               if (RR == 1) {
-                float* d = S[m.store] +
-                           (*m.idx)[static_cast<std::size_t>(r0)] * m.w + c0;
-                for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+                ew::acc(L, pa,
+                        S[m.store] +
+                            (*m.idx)[static_cast<std::size_t>(r0)] * m.w +
+                            c0);
               } else {
                 for (index_t rr = 0; rr < RR; ++rr) {
                   float* d =
                       S[m.store] +
                       (*m.idx)[static_cast<std::size_t>(r0 + rr)] * m.w;
-                  const float* s = pa + rr * C;
-                  for (index_t j = 0; j < C; ++j) d[j] += s[j];
+                  ew::acc(C, pa + rr * C, d);
                 }
               }
             } else {
@@ -895,13 +912,11 @@ void run_span(const Kern& K, float* const* S) {
               // out[c] += v in r-major order: float accumulation, exactly
               // the eager sequence of += per column.
               if (RR == 1) {
-                float* d = S[m.store] + c0;
-                for (index_t j = 0; j < L; ++j) d[j] += pa[j];
+                ew::acc(L, pa, S[m.store] + c0);
               } else {
                 float* d = S[m.store];
                 for (index_t rr = 0; rr < RR; ++rr) {
-                  const float* s = pa + rr * C;
-                  for (index_t j = 0; j < C; ++j) d[j] += s[j];
+                  ew::acc(C, pa + rr * C, d);
                 }
               }
             } else if (m.op == EOp::kSumDim1 && RR > 1) {

@@ -1,6 +1,8 @@
 #include "core/replay.hpp"
 
 #include <atomic>
+#include <cassert>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -47,6 +49,11 @@ Program::~Program() {
 bool Program::bind(const std::vector<Tensor>& inputs,
                    const std::vector<Tensor>& stable) {
   perf::TraceSpan span("replay.bind", "replay");
+  // Tier pinning: the tape's closures dispatch through ops::active_tier()
+  // at run time, so a program captured under another tier would silently
+  // mix kernels from two tiers in one step.  Refuse; the caller runs eager
+  // and recaptures under the current tier.
+  if (ops::active_tier() != tier_) return false;
   if (inputs.size() != bound_slots_.size()) return false;
   if (stable.size() != stable_ptrs_.size()) return false;
   // Stable pointers first: a replaced storage (checkpoint restore,
@@ -94,6 +101,13 @@ Tensor Program::tap_value(std::size_t i) const {
 
 // ---------------------------------------------------------------------------
 // Recorder
+
+Recorder::Recorder() : tier_(ops::active_tier()) {
+  // Mix the tier into the FNV basis so same-structure tapes captured under
+  // different tiers get distinct fingerprints.
+  fingerprint_ ^= static_cast<std::uint64_t>(tier_) + 0x9e3779b97f4a7c15ull;
+  fingerprint_ *= 1099511628211ull;
+}
 
 Recorder* Recorder::active() { return tl_recorder; }
 
@@ -281,6 +295,7 @@ std::shared_ptr<Program> Recorder::finish() {
   }
   tape_.clear();
   prog->fingerprint_ = fingerprint_;
+  prog->tier_ = tier_;
   prog->fused_spans_ = fstats.spans;
   prog->fused_kernels_removed_ = fstats.kernels_removed;
   prog->fused_slots_eliminated_ = fstats.slots_eliminated;
@@ -306,6 +321,11 @@ std::shared_ptr<Program> Recorder::finish() {
 
   prog->slots_.assign(slots_.size(), nullptr);
   float* slab_base = prog->slab_.data();
+  // The slab rides a pool/system tensor, so the arena contract applies;
+  // memplan offsets are 64-byte multiples, keeping every planned slot
+  // aligned too.
+  assert(reinterpret_cast<std::uintptr_t>(slab_base) % alloc::kArenaAlign ==
+         0);
   for (std::size_t k = 0; k < planned_slots.size(); ++k) {
     const int slot = planned_slots[k];
     const std::size_t off = prog->plan_.buffers[k].offset;

@@ -59,6 +59,7 @@
 #include "core/fuse.hpp"
 #include "core/memplan.hpp"
 #include "core/tensor.hpp"
+#include "ops/dispatch.hpp"
 
 namespace fastchg::replay {
 
@@ -124,9 +125,15 @@ class Program {
   std::size_t tap_count() const { return taps_.size(); }
   Tensor tap_value(std::size_t i) const;
 
-  /// Structure fingerprint: hash over (op, counted, slots) of every step.
-  /// Two captures of the same seeded step produce the same fingerprint.
+  /// Structure fingerprint: hash over (op, counted, slots) of every step,
+  /// seeded with the SIMD tier active at capture.  Two captures of the
+  /// same seeded step under the same tier produce the same fingerprint.
   std::uint64_t fingerprint() const { return fingerprint_; }
+  /// SIMD dispatch tier the tape was captured under.  bind() refuses a
+  /// program whose tier differs from ops::active_tier(), so a mid-run
+  /// FASTCHG_SIMD override can never mix tiers inside one tape: the caller
+  /// falls back to eager and recaptures under the new tier.
+  ops::Tier tier() const { return tier_; }
   std::size_t num_steps() const { return steps_.size(); }
   std::size_t plan_bytes() const { return plan_.slab_bytes; }
   const MemPlan& plan() const { return plan_; }
@@ -167,6 +174,7 @@ class Program {
   MemPlan plan_;
   Tensor slab_;
   std::uint64_t fingerprint_ = 0;
+  ops::Tier tier_ = ops::Tier::kScalar;
   std::size_t fused_spans_ = 0;
   std::size_t fused_kernels_removed_ = 0;
   std::size_t fused_slots_eliminated_ = 0;
@@ -183,7 +191,10 @@ class Recorder {
  public:
   using StepFn = Program::StepFn;
 
-  Recorder() = default;
+  /// Captures ops::active_tier() and mixes it into the fingerprint: tapes
+  /// recorded under different SIMD tiers never share a fingerprint (or a
+  /// cache entry that binds).
+  Recorder();
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
 
@@ -249,6 +260,7 @@ class Recorder {
   std::vector<int> tap_slots_;
   std::vector<Shape> tap_shapes_;
   std::uint64_t fingerprint_ = 1469598103934665603ull;
+  ops::Tier tier_ = ops::Tier::kScalar;
   bool finished_ = false;
 };
 

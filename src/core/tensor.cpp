@@ -1,10 +1,12 @@
 #include "core/tensor.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 #include <sstream>
 
+#include "ops/eltwise.hpp"
 #include "perf/counters.hpp"
 
 namespace fastchg {
@@ -112,6 +114,13 @@ Tensor Tensor::from_vector(std::vector<float>&& v, Shape shape) {
                                 << shape_str(shape));
   // Empty shapes keep the 1-float minimum storage empty() guarantees.
   if (v.empty()) return empty(std::move(shape));
+  // Move-adoption uses the vector's buffer as-is, which a stock malloc only
+  // aligns to 16 bytes.  When it misses the arena contract (kArenaAlign),
+  // fall back to the copying overload so every tensor payload stays
+  // 64-byte-aligned for the SIMD op library.
+  if (reinterpret_cast<std::uintptr_t>(v.data()) % alloc::kArenaAlign != 0) {
+    return from_vector(v, std::move(shape));
+  }
   Tensor t;
   t.numel_ = n;
   t.shape_ = std::move(shape);
@@ -172,15 +181,12 @@ void Tensor::add_(const Tensor& other, float alpha) {
   FASTCHG_CHECK(same_shape(shape_, other.shape_),
                 "add_: " << shape_str(shape_) << " vs "
                          << shape_str(other.shape_));
-  float* a = data();
-  const float* b = other.data();
-  for (index_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+  // ops::eltwise::axpy rounds the product before the add at every tier
+  // (bit-exact class), matching the seed's `a[i] += alpha * b[i]`.
+  ops::eltwise::axpy(numel_, alpha, other.data(), data());
 }
 
-void Tensor::mul_(float s) {
-  float* a = data();
-  for (index_t i = 0; i < numel_; ++i) a[i] *= s;
-}
+void Tensor::mul_(float s) { ops::eltwise::scale(numel_, s, data()); }
 
 std::vector<float> Tensor::to_vector() const {
   return std::vector<float>(data(), data() + numel_);

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/replay.hpp"
+#include "ops/rownorm.hpp"
 #include "perf/counters.hpp"
 #include "perf/trace.hpp"
 
@@ -20,34 +21,10 @@ constexpr float kLnEps = 1e-5f;
 void gated_act_loop(index_t rows, index_t c, float eps, const float* pp,
                     const float* gc, const float* bc, const float* gg,
                     const float* bg, float* po) {
-  auto ln_row = [eps](const float* row, index_t n, float& mean, float& rstd) {
-    double m = 0.0;
-    for (index_t i = 0; i < n; ++i) m += row[i];
-    m /= static_cast<double>(n);
-    double v = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      const double d = row[i] - m;
-      v += d * d;
-    }
-    v /= static_cast<double>(n);
-    mean = static_cast<float>(m);
-    rstd = 1.0f / std::sqrt(static_cast<float>(v) + eps);
-  };
-  for (index_t r = 0; r < rows; ++r) {
-    const float* core = pp + r * 2 * c;
-    const float* gate = core + c;
-    float mc, rc, mg, rg;
-    ln_row(core, c, mc, rc);
-    ln_row(gate, c, mg, rg);
-    float* orow = po + r * c;
-    for (index_t i = 0; i < c; ++i) {
-      const float cn = (core[i] - mc) * rc * gc[i] + bc[i];
-      const float gn = (gate[i] - mg) * rg * gg[i] + bg[i];
-      const float sc = 1.0f / (1.0f + std::exp(-cn));  // shared sigmoid
-      const float sg = 1.0f / (1.0f + std::exp(-gn));
-      orow[i] = sg * (cn * sc);  // sigmoid(gate) * silu(core)
-    }
-  }
+  // Dispatched: scalar tier is this function's old body verbatim; the AVX2
+  // tier vectorizes both half-row layernorms and the sigmoid/silu gate
+  // (tolerance-gated class: reassociated reductions + polynomial exp).
+  ::fastchg::ops::rownorm::gated_act(rows, c, eps, pp, gc, bc, gg, bg, po);
 }
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/replay.hpp"
+#include "ops/rownorm.hpp"
 #include "perf/counters.hpp"
 
 namespace fastchg::nn {
@@ -16,23 +17,9 @@ namespace {
 /// closure.
 void layernorm_loop(index_t rows, index_t cols, float eps, const float* px,
                     const float* pg, const float* pb, float* po) {
-  for (index_t r = 0; r < rows; ++r) {
-    const float* row = px + r * cols;
-    double mean = 0.0;
-    for (index_t c = 0; c < cols; ++c) mean += row[c];
-    mean /= static_cast<double>(cols);
-    double var = 0.0;
-    for (index_t c = 0; c < cols; ++c) {
-      const double d = row[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const float rstd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    float* orow = po + r * cols;
-    for (index_t c = 0; c < cols; ++c) {
-      orow[c] = (row[c] - static_cast<float>(mean)) * rstd * pg[c] + pb[c];
-    }
-  }
+  // Dispatched: scalar tier is this function's old body verbatim; the AVX2
+  // tier reassociates the mean/var reductions (tolerance-gated class).
+  ::fastchg::ops::rownorm::layernorm(rows, cols, eps, px, pg, pb, po);
 }
 }  // namespace
 

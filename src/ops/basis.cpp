@@ -1,0 +1,60 @@
+// Baseline-ISA TU: scalar references (byte-for-byte the seed's fused loops
+// from basis/rbf.cpp and basis/fourier.cpp) and tier dispatch.
+#include "ops/basis.hpp"
+
+#include <cmath>
+
+namespace fastchg::ops::basis {
+
+namespace scalar {
+
+void srbf(index_t e, index_t nb, float rc, float c, int p, EnvFn env,
+          const float* r, const float* freq, float* o) {
+  for (index_t i = 0; i < e; ++i) {
+    const float rv = r[i];
+    const float x = rv / rc;
+    const float u = static_cast<float>(env(x, p));
+    const float pre = c * u / rv;
+    float* row = o + i * nb;
+    for (index_t n = 0; n < nb; ++n) {
+      row[n] = pre * std::sin(freq[n] * x);
+    }
+  }
+}
+
+void fourier(index_t g, index_t order, float c0, float cinv, const float* t,
+             float* o) {
+  const index_t nb = 2 * order + 1;
+  for (index_t i = 0; i < g; ++i) {
+    float* row = o + i * nb;
+    row[0] = c0;
+    const float tv = t[i];
+    for (index_t n = 1; n <= order; ++n) {
+      const float nt = static_cast<float>(n) * tv;
+      row[n] = std::cos(nt) * cinv;
+      row[order + n] = std::sin(nt) * cinv;
+    }
+  }
+}
+
+}  // namespace scalar
+
+void srbf(index_t e, index_t nb, float rc, float c, int p, EnvFn env,
+          const float* r, const float* freq, float* o) {
+  if (active_tier() == Tier::kAvx2) {
+    avx2::srbf(e, nb, rc, c, p, env, r, freq, o);
+    return;
+  }
+  scalar::srbf(e, nb, rc, c, p, env, r, freq, o);
+}
+
+void fourier(index_t g, index_t order, float c0, float cinv, const float* t,
+             float* o) {
+  if (active_tier() == Tier::kAvx2) {
+    avx2::fourier(g, order, c0, cinv, t, o);
+    return;
+  }
+  scalar::fourier(g, order, c0, cinv, t, o);
+}
+
+}  // namespace fastchg::ops::basis

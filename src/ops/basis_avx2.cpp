@@ -1,0 +1,98 @@
+// AVX2 basis kernels.  The per-edge prefactor (envelope, division) stays
+// scalar; the inner row of sin/cos evaluations runs 8-wide through the
+// Cephes kernels in vecmath256.hpp.  Partial rows (nb % 8 != 0 -- e.g. the
+// Fourier order-7 rows in the default model) use maskload/maskstore so
+// every lane of a row goes through the same polynomial path.
+//
+// |freq[n] * x| <= pi * nb and |n * theta| <= order * pi stay far inside
+// the reduction range of sincos256 (~8192).
+#include "ops/basis.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "ops/vecmath256.hpp"
+
+namespace fastchg::ops::basis::avx2 {
+
+void srbf(index_t e, index_t nb, float rc, float c, int p, EnvFn env,
+          const float* r, const float* freq, float* o) {
+  const __m256i iota =
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (index_t i = 0; i < e; ++i) {
+    const float rv = r[i];
+    const float x = rv / rc;
+    const float u = static_cast<float>(env(x, p));
+    const float pre = c * u / rv;
+    const __m256 vx = _mm256_set1_ps(x);
+    const __m256 vpre = _mm256_set1_ps(pre);
+    float* row = o + i * nb;
+    index_t n = 0;
+    for (; n + 8 <= nb; n += 8) {
+      const __m256 f = _mm256_loadu_ps(freq + n);
+      const __m256 s = vecmath::sin256(_mm256_mul_ps(f, vx));
+      _mm256_storeu_ps(row + n, _mm256_mul_ps(vpre, s));
+    }
+    if (n < nb) {
+      const __m256i mask =
+          _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(nb - n)),
+                             iota);
+      const __m256 f = _mm256_maskload_ps(freq + n, mask);
+      const __m256 s = vecmath::sin256(_mm256_mul_ps(f, vx));
+      _mm256_maskstore_ps(row + n, mask, _mm256_mul_ps(vpre, s));
+    }
+  }
+}
+
+void fourier(index_t g, index_t order, float c0, float cinv, const float* t,
+             float* o) {
+  const index_t nb = 2 * order + 1;
+  const __m256 iota_f =
+      _mm256_setr_ps(0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f);
+  const __m256i iota_i =
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256 vcinv = _mm256_set1_ps(cinv);
+  for (index_t i = 0; i < g; ++i) {
+    float* row = o + i * nb;
+    row[0] = c0;
+    const __m256 vt = _mm256_set1_ps(t[i]);
+    for (index_t n = 1; n <= order; n += 8) {
+      const index_t rem = order - n + 1;
+      const __m256 vn =
+          _mm256_add_ps(_mm256_set1_ps(static_cast<float>(n)), iota_f);
+      __m256 vs, vc;
+      vecmath::sincos256(_mm256_mul_ps(vn, vt), &vs, &vc);
+      if (rem >= 8) {
+        _mm256_storeu_ps(row + n, _mm256_mul_ps(vc, vcinv));
+        _mm256_storeu_ps(row + order + n, _mm256_mul_ps(vs, vcinv));
+      } else {
+        const __m256i mask = _mm256_cmpgt_epi32(
+            _mm256_set1_epi32(static_cast<int>(rem)), iota_i);
+        _mm256_maskstore_ps(row + n, mask, _mm256_mul_ps(vc, vcinv));
+        _mm256_maskstore_ps(row + order + n, mask,
+                            _mm256_mul_ps(vs, vcinv));
+      }
+    }
+  }
+}
+
+}  // namespace fastchg::ops::basis::avx2
+
+#else  // toolchain cannot build AVX2: forward to the scalar reference
+
+namespace fastchg::ops::basis::avx2 {
+
+void srbf(index_t e, index_t nb, float rc, float c, int p, EnvFn env,
+          const float* r, const float* freq, float* o) {
+  scalar::srbf(e, nb, rc, c, p, env, r, freq, o);
+}
+
+void fourier(index_t g, index_t order, float c0, float cinv, const float* t,
+             float* o) {
+  scalar::fourier(g, order, c0, cinv, t, o);
+}
+
+}  // namespace fastchg::ops::basis::avx2
+
+#endif

@@ -1,0 +1,65 @@
+#include "ops/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace fastchg::ops {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Tier env_default_tier() {
+  if (!avx2_supported()) return Tier::kScalar;
+  const char* v = std::getenv("FASTCHG_SIMD");
+  if (v == nullptr || std::strcmp(v, "auto") == 0 ||
+      std::strcmp(v, "") == 0) {
+    return Tier::kAvx2;
+  }
+  if (std::strcmp(v, "scalar") == 0 || std::strcmp(v, "off") == 0 ||
+      std::strcmp(v, "0") == 0) {
+    return Tier::kScalar;
+  }
+  // "avx2" (or anything else) asks for the vector tier; avx2_supported()
+  // already vetoed hosts/builds that cannot run it.
+  return Tier::kAvx2;
+}
+
+std::atomic<int>& tier_flag() {
+  static std::atomic<int> t{static_cast<int>(env_default_tier())};
+  return t;
+}
+
+}  // namespace
+
+bool avx2_supported() {
+  static const bool ok = detail::avx2_kernels_compiled() && cpu_has_avx2_fma();
+  return ok;
+}
+
+Tier active_tier() {
+  return static_cast<Tier>(tier_flag().load(std::memory_order_relaxed));
+}
+
+void set_simd_tier(Tier t) {
+  if (t == Tier::kAvx2 && !avx2_supported()) t = Tier::kScalar;
+  tier_flag().store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+void reset_simd_tier() {
+  tier_flag().store(static_cast<int>(env_default_tier()),
+                    std::memory_order_relaxed);
+}
+
+const char* tier_name(Tier t) {
+  return t == Tier::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace fastchg::ops

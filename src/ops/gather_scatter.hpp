@@ -1,0 +1,47 @@
+// Gather/scatter op family: row gathers (index_select) and row
+// scatter-adds (index_add / graph message aggregation) over row-major
+// [rows, w] arrays (docs/ops.md).  Both ops are in the *bit-exact* class:
+//
+//  - gather_rows copies whole rows (memcpy semantics -- no arithmetic at
+//    all), so the tiers are trivially identical.
+//  - scatter_add_rows walks the source rows in order r = 0..k-1 and
+//    accumulates each destination column with a single += per visit.  Any
+//    vectorization across the width w keeps the per-column accumulation
+//    order identical, so sums are bitwise equal to the scalar reference
+//    even when indices collide.
+//
+// Bounds are the caller's contract (the autograd layer FASTCHG_CHECKs
+// indices before calling); kernels here assume valid indices.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/dispatch.hpp"
+
+namespace fastchg::ops::gather_scatter {
+
+using index_t = std::int64_t;
+
+/// o[r, :] = x[idx[r], :] for r in [0, k).  x is [rows, w]; o is [k, w].
+void gather_rows(index_t k, index_t w, const index_t* idx, const float* x,
+                 float* o);
+
+/// o[idx[r], :] += s[r, :] for r in [0, k), after zeroing o ([rows, w]).
+void scatter_add_rows(index_t k, index_t rows, index_t w, const index_t* idx,
+                      const float* s, float* o);
+
+namespace scalar {
+void gather_rows(index_t k, index_t w, const index_t* idx, const float* x,
+                 float* o);
+void scatter_add_rows(index_t k, index_t rows, index_t w, const index_t* idx,
+                      const float* s, float* o);
+}  // namespace scalar
+
+namespace avx2 {
+void gather_rows(index_t k, index_t w, const index_t* idx, const float* x,
+                 float* o);
+void scatter_add_rows(index_t k, index_t rows, index_t w, const index_t* idx,
+                      const float* s, float* o);
+}  // namespace avx2
+
+}  // namespace fastchg::ops::gather_scatter

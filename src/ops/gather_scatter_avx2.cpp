@@ -1,0 +1,57 @@
+// AVX2 gather/scatter kernels.  gather_rows stays memcpy (already optimal
+// and bitwise trivial); scatter_add_rows vectorizes the per-row += across
+// the width w.  Source rows are still visited strictly in order, so each
+// destination column accumulates the same values in the same order as the
+// scalar reference -- bitwise identical, including colliding indices.
+#include "ops/gather_scatter.hpp"
+
+#include <cstring>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace fastchg::ops::gather_scatter::avx2 {
+
+void gather_rows(index_t k, index_t w, const index_t* idx, const float* x,
+                 float* o) {
+  for (index_t r = 0; r < k; ++r) {
+    std::memcpy(o + r * w, x + idx[r] * w,
+                static_cast<std::size_t>(w) * sizeof(float));
+  }
+}
+
+void scatter_add_rows(index_t k, index_t rows, index_t w, const index_t* idx,
+                      const float* s, float* o) {
+  std::memset(o, 0, static_cast<std::size_t>(rows * w) * sizeof(float));
+  for (index_t r = 0; r < k; ++r) {
+    float* orow = o + idx[r] * w;
+    const float* srow = s + r * w;
+    index_t c = 0;
+    for (; c + 8 <= w; c += 8) {
+      _mm256_storeu_ps(orow + c, _mm256_add_ps(_mm256_loadu_ps(orow + c),
+                                               _mm256_loadu_ps(srow + c)));
+    }
+    for (; c < w; ++c) orow[c] += srow[c];
+  }
+}
+
+}  // namespace fastchg::ops::gather_scatter::avx2
+
+#else  // toolchain cannot build AVX2: forward to the scalar reference
+
+namespace fastchg::ops::gather_scatter::avx2 {
+
+void gather_rows(index_t k, index_t w, const index_t* idx, const float* x,
+                 float* o) {
+  scalar::gather_rows(k, w, idx, x, o);
+}
+
+void scatter_add_rows(index_t k, index_t rows, index_t w, const index_t* idx,
+                      const float* s, float* o) {
+  scalar::scatter_add_rows(k, rows, w, idx, s, o);
+}
+
+}  // namespace fastchg::ops::gather_scatter::avx2
+
+#endif

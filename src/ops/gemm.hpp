@@ -1,0 +1,42 @@
+// GEMM op family: C[m,n] = A[m,k] * B[k,n], row-major, beta = 0
+// (docs/ops.md).  This family is *tolerance-gated*: the AVX2 tier keeps the
+// scalar kernel's k-association (accumulate over kk in order) but uses FMA,
+// so products are not rounded before the add and results differ from the
+// scalar tier by O(1 ulp) per accumulation step.  Each tier on its own is
+// deterministic: rows are partitioned by parallel_for, every output element
+// is owned by exactly one task, so results are invariant to thread count.
+//
+// The scalar reference is byte-for-byte the seed's matmul_loop
+// (autograd/ops.cpp): memset, then parallel rows in an i-k-j loop.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/dispatch.hpp"
+
+namespace fastchg::ops::gemm {
+
+using index_t = std::int64_t;
+
+/// Dispatching entry point (tier read per call).
+void matmul(index_t m, index_t k, index_t n, const float* a, const float* b,
+            float* o);
+
+namespace scalar {
+/// Reference kernel: memset + parallel_for over rows, i-k-j.
+void matmul(index_t m, index_t k, index_t n, const float* a, const float* b,
+            float* o);
+}  // namespace scalar
+
+namespace avx2 {
+/// Full AVX2 matmul (threads like the scalar kernel).  Forwards to scalar
+/// when the toolchain cannot build AVX2.
+void matmul(index_t m, index_t k, index_t n, const float* a, const float* b,
+            float* o);
+/// Row-range kernel [r0, r1): the non-inline symbol the threaded driver
+/// calls, exposed for single-threaded differential tests.
+void matmul_rows(index_t r0, index_t r1, index_t k, index_t n, const float* a,
+                 const float* b, float* o);
+}  // namespace avx2
+
+}  // namespace fastchg::ops::gemm

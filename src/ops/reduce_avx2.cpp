@@ -1,0 +1,81 @@
+// AVX2 reduce kernels.  sum_dim0 vectorizes across columns: for each row
+// the 8-wide += preserves every column's serial accumulation order, so it
+// is bitwise identical to the scalar reference and safe to dispatch.
+// sum_all / sum_dim1 reassociate the serial double chain into 4 double
+// lanes -- numerically excellent but not bitwise; they are reachable only
+// through the avx2:: namespace (tests and bench), never via dispatch.
+#include "ops/reduce.hpp"
+
+#include <cstring>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace fastchg::ops::reduce::avx2 {
+
+namespace {
+
+inline double hsum_pd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+inline double sum_range_pd(index_t n, const float* x) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace
+
+double sum_all(index_t n, const float* x) { return sum_range_pd(n, x); }
+
+void sum_dim0(index_t rows, index_t cols, const float* x, float* o) {
+  std::memset(o, 0, static_cast<std::size_t>(cols) * sizeof(float));
+  for (index_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    index_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(o + c, _mm256_add_ps(_mm256_loadu_ps(o + c),
+                                            _mm256_loadu_ps(row + c)));
+    }
+    for (; c < cols; ++c) o[c] += row[c];
+  }
+}
+
+void sum_dim1(index_t rows, index_t cols, const float* x, float* o) {
+  for (index_t r = 0; r < rows; ++r) {
+    o[r] = static_cast<float>(sum_range_pd(cols, x + r * cols));
+  }
+}
+
+}  // namespace fastchg::ops::reduce::avx2
+
+#else  // toolchain cannot build AVX2: forward to the scalar reference
+
+namespace fastchg::ops::reduce::avx2 {
+
+double sum_all(index_t n, const float* x) { return scalar::sum_all(n, x); }
+
+void sum_dim0(index_t rows, index_t cols, const float* x, float* o) {
+  scalar::sum_dim0(rows, cols, x, o);
+}
+
+void sum_dim1(index_t rows, index_t cols, const float* x, float* o) {
+  scalar::sum_dim1(rows, cols, x, o);
+}
+
+}  // namespace fastchg::ops::reduce::avx2
+
+#endif

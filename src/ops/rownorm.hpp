@@ -1,0 +1,47 @@
+// Rownorm op family: fused per-row normalization kernels -- LayerNorm
+// forward and the GatedMLP packed gated activation (docs/ops.md).
+// *Tolerance-gated*: the scalar tier accumulates mean/variance serially in
+// double and calls libm expf for the sigmoids; the AVX2 tier uses 4-wide
+// double accumulator lanes (reassociated) and the Cephes exp256 kernel.
+// Differences are O(1e-7) relative -- well inside the 1e-5 fused-vs-
+// composite gates in test_nn.  Eager kernels and their replay closures
+// share one dispatch, so same-tier comparisons are still bitwise.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/dispatch.hpp"
+
+namespace fastchg::ops::rownorm {
+
+using index_t = std::int64_t;
+
+/// o[r, c] = (x[r, c] - mean_r) * rstd_r * g[c] + b[c], with mean/var in
+/// double and rstd = 1/sqrt((float)var + eps).
+void layernorm(index_t rows, index_t cols, float eps, const float* x,
+               const float* g, const float* b, float* o);
+
+/// Packed gated activation: rows of x are [core | gate] (width 2c); each
+/// half is layer-normalized with its own gamma/beta, then
+/// o = sigmoid(gate_n) * silu(core_n)  (width c).
+void gated_act(index_t rows, index_t c, float eps, const float* x,
+               const float* gc, const float* bc, const float* gg,
+               const float* bg, float* o);
+
+namespace scalar {
+void layernorm(index_t rows, index_t cols, float eps, const float* x,
+               const float* g, const float* b, float* o);
+void gated_act(index_t rows, index_t c, float eps, const float* x,
+               const float* gc, const float* bc, const float* gg,
+               const float* bg, float* o);
+}  // namespace scalar
+
+namespace avx2 {
+void layernorm(index_t rows, index_t cols, float eps, const float* x,
+               const float* g, const float* b, float* o);
+void gated_act(index_t rows, index_t c, float eps, const float* x,
+               const float* gc, const float* bc, const float* gg,
+               const float* bg, float* o);
+}  // namespace avx2
+
+}  // namespace fastchg::ops::rownorm

@@ -1,0 +1,158 @@
+// AVX2 rownorm kernels.  Row statistics run in 4-wide double lanes
+// (reassociated vs. the serial scalar reference -- this family is
+// tolerance-gated); normalization and the gated activation run 8-wide in
+// float, with sigmoids through the Cephes exp256 kernel.
+#include "ops/rownorm.hpp"
+
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "ops/vecmath256.hpp"
+
+namespace fastchg::ops::rownorm::avx2 {
+
+namespace {
+
+inline double hsum_pd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/// Double-accumulated mean and variance of row[0..n), like the scalar
+/// reference but with 4-wide lanes.
+inline void row_mean_var(const float* row, index_t n, double& mean,
+                         double& var) {
+  __m256d acc = _mm256_setzero_pd();
+  index_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(row + i);
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double m = hsum_pd(acc);
+  for (; i < n; ++i) m += row[i];
+  m /= static_cast<double>(n);
+
+  const __m256d vm = _mm256_set1_pd(m);
+  __m256d vacc = _mm256_setzero_pd();
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(row + i);
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v)), vm);
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), vm);
+    vacc = _mm256_fmadd_pd(d0, d0, vacc);
+    vacc = _mm256_fmadd_pd(d1, d1, vacc);
+  }
+  double v2 = hsum_pd(vacc);
+  for (; i < n; ++i) {
+    const double d = row[i] - m;
+    v2 += d * d;
+  }
+  mean = m;
+  var = v2 / static_cast<double>(n);
+}
+
+/// 8-wide sigmoid(x) = 1 / (1 + e^-x).
+inline __m256 sigmoid256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = vecmath::exp256(
+      _mm256_xor_ps(x, _mm256_castsi256_ps(_mm256_set1_epi32(
+                            static_cast<int>(0x80000000u)))));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+}  // namespace
+
+void layernorm(index_t rows, index_t cols, float eps, const float* x,
+               const float* g, const float* b, float* o) {
+  for (index_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    double mean, var;
+    row_mean_var(row, cols, mean, var);
+    const float mf = static_cast<float>(mean);
+    const float rstd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    float* orow = o + r * cols;
+    const __m256 vm = _mm256_set1_ps(mf);
+    const __m256 vr = _mm256_set1_ps(rstd);
+    index_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 xh =
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(row + c), vm), vr);
+      _mm256_storeu_ps(
+          o + r * cols + c,
+          _mm256_fmadd_ps(xh, _mm256_loadu_ps(g + c), _mm256_loadu_ps(b + c)));
+    }
+    for (; c < cols; ++c) {
+      orow[c] = (row[c] - mf) * rstd * g[c] + b[c];
+    }
+  }
+}
+
+void gated_act(index_t rows, index_t c, float eps, const float* x,
+               const float* gc, const float* bc, const float* gg,
+               const float* bg, float* o) {
+  for (index_t r = 0; r < rows; ++r) {
+    const float* core = x + r * 2 * c;
+    const float* gate = core + c;
+    double m, v;
+    row_mean_var(core, c, m, v);
+    const float mc = static_cast<float>(m);
+    const float rc = 1.0f / std::sqrt(static_cast<float>(v) + eps);
+    row_mean_var(gate, c, m, v);
+    const float mg = static_cast<float>(m);
+    const float rg = 1.0f / std::sqrt(static_cast<float>(v) + eps);
+    float* orow = o + r * c;
+    const __m256 vmc = _mm256_set1_ps(mc);
+    const __m256 vrc = _mm256_set1_ps(rc);
+    const __m256 vmg = _mm256_set1_ps(mg);
+    const __m256 vrg = _mm256_set1_ps(rg);
+    index_t i = 0;
+    for (; i + 8 <= c; i += 8) {
+      const __m256 cn = _mm256_fmadd_ps(
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(core + i), vmc), vrc),
+          _mm256_loadu_ps(gc + i), _mm256_loadu_ps(bc + i));
+      const __m256 gn = _mm256_fmadd_ps(
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(gate + i), vmg), vrg),
+          _mm256_loadu_ps(gg + i), _mm256_loadu_ps(bg + i));
+      const __m256 sc = sigmoid256(cn);
+      const __m256 sg = sigmoid256(gn);
+      _mm256_storeu_ps(orow + i,
+                       _mm256_mul_ps(sg, _mm256_mul_ps(cn, sc)));
+    }
+    for (; i < c; ++i) {
+      const float cn = (core[i] - mc) * rc * gc[i] + bc[i];
+      const float gn = (gate[i] - mg) * rg * gg[i] + bg[i];
+      const float sc = 1.0f / (1.0f + std::exp(-cn));
+      const float sg = 1.0f / (1.0f + std::exp(-gn));
+      orow[i] = sg * (cn * sc);
+    }
+  }
+}
+
+}  // namespace fastchg::ops::rownorm::avx2
+
+#else  // toolchain cannot build AVX2: forward to the scalar reference
+
+namespace fastchg::ops::rownorm::avx2 {
+
+void layernorm(index_t rows, index_t cols, float eps, const float* x,
+               const float* g, const float* b, float* o) {
+  scalar::layernorm(rows, cols, eps, x, g, b, o);
+}
+
+void gated_act(index_t rows, index_t c, float eps, const float* x,
+               const float* gc, const float* bc, const float* gg,
+               const float* bg, float* o) {
+  scalar::gated_act(rows, c, eps, x, gc, bc, gg, bg, o);
+}
+
+}  // namespace fastchg::ops::rownorm::avx2
+
+#endif

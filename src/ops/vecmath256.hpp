@@ -1,0 +1,128 @@
+// 8-wide float transcendentals (Cephes-style polynomial kernels) for the
+// AVX2 tier of the basis and rownorm families.  Results agree with libm to
+// a couple of ulps, not bitwise -- every caller is tolerance-gated
+// (docs/ops.md); never use these inside a bit-exact op.
+//
+// Include only from *_avx2.cpp translation units compiled with
+// -mavx2 -mfma; the explicit _mm256_fmadd_ps calls below survive
+// -ffp-contract=off (that flag only disallows *implicit* contraction).
+//
+// Argument range: the 3-step Cody-Waite reduction in sincos256 is accurate
+// for |x| up to ~8192, far beyond the basis kernels' |freq * x| <~ 64.
+#pragma once
+
+#include <immintrin.h>
+
+namespace fastchg::ops::vecmath {
+
+/// e^x, clamped to the finite-float exponent range.
+inline __m256 exp256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(x, _mm256_set1_ps(88.3762626647949f));
+  x = _mm256_max_ps(x, _mm256_set1_ps(-88.3762626647949f));
+
+  // n = round(x / ln2); r = x - n*ln2 via two-term Cody-Waite.
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                              _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+
+  __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, one);
+
+  // scale by 2^n through the exponent field
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+/// sin(x) and cos(x) in one quadrant reduction.
+inline void sincos256(__m256 x, __m256* s, __m256* c) {
+  const __m256 sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(
+      static_cast<int>(0x80000000u)));
+  const __m256 inv_sign_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+
+  __m256 sign_bit_sin = _mm256_and_ps(x, sign_mask);
+  x = _mm256_and_ps(x, inv_sign_mask);
+
+  // quadrant index: j = (int(x * 4/pi) + 1) & ~1
+  __m256 y = _mm256_mul_ps(x, _mm256_set1_ps(1.27323954473516f));
+  __m256i emm2 = _mm256_cvttps_epi32(y);
+  emm2 = _mm256_add_epi32(emm2, _mm256_set1_epi32(1));
+  emm2 = _mm256_and_si256(emm2, _mm256_set1_epi32(~1));
+  y = _mm256_cvtepi32_ps(emm2);
+
+  __m256i emm4 = emm2;
+
+  // sin flips sign in quadrants 4..7
+  __m256i emm0 = _mm256_and_si256(emm2, _mm256_set1_epi32(4));
+  emm0 = _mm256_slli_epi32(emm0, 29);
+  const __m256 swap_sign_bit_sin = _mm256_castsi256_ps(emm0);
+
+  // polynomial select: quadrants 0 and 3 use the sin polynomial for sin
+  emm2 = _mm256_and_si256(emm2, _mm256_set1_epi32(2));
+  emm2 = _mm256_cmpeq_epi32(emm2, _mm256_setzero_si256());
+  const __m256 poly_mask = _mm256_castsi256_ps(emm2);
+
+  // extended-precision x = x - j*(pi/4) (3-step Cody-Waite)
+  x = _mm256_fnmadd_ps(y, _mm256_set1_ps(0.78515625f), x);
+  x = _mm256_fnmadd_ps(y, _mm256_set1_ps(2.4187564849853515625e-4f), x);
+  x = _mm256_fnmadd_ps(y, _mm256_set1_ps(3.77489497744594108e-8f), x);
+
+  // cos flips sign in quadrants 2..5
+  emm4 = _mm256_sub_epi32(emm4, _mm256_set1_epi32(2));
+  emm4 = _mm256_andnot_si256(emm4, _mm256_set1_epi32(4));
+  emm4 = _mm256_slli_epi32(emm4, 29);
+  const __m256 sign_bit_cos = _mm256_castsi256_ps(emm4);
+
+  sign_bit_sin = _mm256_xor_ps(sign_bit_sin, swap_sign_bit_sin);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+
+  // cos polynomial on [-pi/4, pi/4]
+  __m256 y1 = _mm256_set1_ps(2.443315711809948e-5f);
+  y1 = _mm256_fmadd_ps(y1, z, _mm256_set1_ps(-1.388731625493765e-3f));
+  y1 = _mm256_fmadd_ps(y1, z, _mm256_set1_ps(4.166664568298827e-2f));
+  y1 = _mm256_mul_ps(y1, z);
+  y1 = _mm256_mul_ps(y1, z);
+  y1 = _mm256_fnmadd_ps(z, _mm256_set1_ps(0.5f), y1);
+  y1 = _mm256_add_ps(y1, _mm256_set1_ps(1.0f));
+
+  // sin polynomial on [-pi/4, pi/4]
+  __m256 y2 = _mm256_set1_ps(-1.9515295891e-4f);
+  y2 = _mm256_fmadd_ps(y2, z, _mm256_set1_ps(8.3321608736e-3f));
+  y2 = _mm256_fmadd_ps(y2, z, _mm256_set1_ps(-1.6666654611e-1f));
+  y2 = _mm256_mul_ps(y2, z);
+  y2 = _mm256_fmadd_ps(y2, x, x);
+
+  const __m256 ysin = _mm256_blendv_ps(y1, y2, poly_mask);
+  const __m256 ycos = _mm256_blendv_ps(y2, y1, poly_mask);
+
+  *s = _mm256_xor_ps(ysin, sign_bit_sin);
+  *c = _mm256_xor_ps(ycos, sign_bit_cos);
+}
+
+inline __m256 sin256(__m256 x) {
+  __m256 s, c;
+  sincos256(x, &s, &c);
+  return s;
+}
+
+inline __m256 cos256(__m256 x) {
+  __m256 s, c;
+  sincos256(x, &s, &c);
+  return c;
+}
+
+}  // namespace fastchg::ops::vecmath
